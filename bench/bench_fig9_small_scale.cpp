@@ -1,0 +1,112 @@
+// Reproduces paper Fig. 9: small-scale strong scaling (4..64 nodes) of
+// LCC non-cached vs LCC cached vs TriC vs TriC-Buffered on six graphs,
+// plus the Section IV-D2 text metrics (remote-read fraction and
+// communication share of total time).
+//
+// Expected shape (paper):
+//  - async LCC scales ~9-14x from 4 to 64 nodes on scale-free graphs;
+//  - caching wins in the mid-range (up to 67% on R-MAT S21), loses when
+//    over-partitioned (compulsory misses, e.g. LiveJournal at 64 nodes);
+//  - TriC is 1-2 orders of magnitude slower on scale-free graphs;
+//  - remote-read fraction grows toward ~98% and communication dominates.
+#include <cstdio>
+
+#include "atlc/core/lcc.hpp"
+#include "atlc/tric/tric.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace atlc;
+
+double comm_share(const rma::Runtime::Result& r) {
+  double comm = 0, total = 0;
+  for (const auto& s : r.stats) {
+    comm += s.comm_seconds;
+    total += s.comm_seconds + s.compute_seconds;
+  }
+  return total > 0 ? comm / total : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_fig9_small_scale",
+                "Paper Fig. 9: strong scaling 4..64 nodes, all systems");
+  bench::add_common_flags(cli);
+  cli.add_flag("skip-tric", "skip the TriC baselines (they dominate runtime "
+               "by design — that is the paper's point)", false);
+  cli.add_double("cache-budget-frac",
+                 "cache budget as a fraction of the graph's CSR size "
+                 "(paper: 16 GiB/node at paper-scale graphs)", 0.5);
+  if (!cli.parse(argc, argv)) return 1;
+  const int boost = static_cast<int>(cli.get_int("scale-boost"));
+  const bool skip_tric = cli.get_flag("skip-tric");
+  const double budget_frac = cli.get_double("cache-budget-frac");
+
+  const std::vector<std::string> graphs = {"R-MAT-S21-EF16", "R-MAT-S23-EF16",
+                                           "Orkut",          "LiveJournal",
+                                           "Skitter",        "LiveJournal1"};
+  const std::vector<std::uint32_t> nodes = {4, 8, 16, 32, 64};
+
+  for (const auto& name : graphs) {
+    const auto& g = bench::build_proxy(bench::find_proxy(name), boost);
+    std::printf("\n### %s — %s\n", name.c_str(), bench::describe(g).c_str());
+
+    util::Table table({"Nodes", "LCC non-cached (s)", "LCC cached (s)",
+                       "TriC (s)", "TriC-Buffered (s)", "cached vs plain",
+                       "remote edges", "comm share"});
+    double first_plain = 0;
+    double last_plain = 0;
+    for (std::uint32_t p : nodes) {
+      core::EngineConfig plain_cfg;
+      plain_cfg.cost = bench::calibrated_cost();
+      const auto plain = core::run_distributed_lcc(g, p, plain_cfg);
+
+      core::EngineConfig cached_cfg = plain_cfg;
+      cached_cfg.use_cache = true;
+      cached_cfg.victim_policy = clampi::VictimPolicy::UserScore;
+      cached_cfg.cache_sizing = core::CacheSizing::paper_default(
+          g.num_vertices(),
+          static_cast<std::uint64_t>(budget_frac *
+                                     static_cast<double>(g.csr_bytes())));
+      const auto cached = core::run_distributed_lcc(g, p, cached_cfg);
+
+      std::string tric_s = "-", tric_buf_s = "-";
+      if (!skip_tric) {
+        tric::TricConfig tc;
+        tc.cost = bench::calibrated_cost();
+        const auto tr = tric::run_tric(g, p, tc);
+        tric_s = util::Table::fmt(tr.run.makespan, 3);
+        tric::TricConfig tb = tc;
+        // Paper: 16 MiB per-peer buffers at paper-scale graphs; scaled
+        // proportionally to the proxy size so the buffered variant's extra
+        // rounds actually trigger.
+        tb.buffer_entries = 64u << 10;
+        tric_buf_s = util::Table::fmt(tric::run_tric(g, p, tb).run.makespan, 3);
+      }
+
+      if (p == nodes.front()) first_plain = plain.run.makespan;
+      last_plain = plain.run.makespan;
+      const double saving = 1.0 - cached.run.makespan / plain.run.makespan;
+      table.add_row(
+          {util::Table::fmt_int(p), util::Table::fmt(plain.run.makespan, 3),
+           util::Table::fmt(cached.run.makespan, 3), tric_s, tric_buf_s,
+           util::Table::fmt_percent(saving),
+           util::Table::fmt_percent(plain.remote_edge_fraction()),
+           util::Table::fmt_percent(comm_share(plain.run))});
+    }
+    table.print("Fig. 9 strong scaling: " + name);
+    std::printf("async speedup %u -> %u nodes: %.1fx "
+                "(paper: 9.2x-14x depending on graph)\n",
+                nodes.front(), nodes.back(), first_plain / last_plain);
+  }
+
+  std::printf(
+      "\npaper shape checks: (1) async scales ~10x from 4 to 64 nodes; "
+      "(2) caching helps mid-range, hurts when over-partitioned; (3) TriC "
+      "is 1-2 orders of magnitude slower on scale-free graphs; (4) the "
+      "remote-edge fraction and comm share climb with the node count "
+      "(Section IV-D2: 66%%->98%% and 78.9%%->97.7%%).\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Google-benchmark micro-kernels behind Table III / Fig. 6: the raw
+// intersection kernels across list-length ratios, the Eq. (3) hybrid rule's
+// selection quality, and the OpenMP-parallel variants. Complements the
+// whole-graph numbers in bench_table3_intersect with statistically
+// disciplined per-kernel timings.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "atlc/intersect/intersect.hpp"
+#include "atlc/intersect/parallel.hpp"
+#include "atlc/util/rng.hpp"
+
+namespace {
+
+using namespace atlc;
+using V = std::vector<intersect::VertexId>;
+
+V sorted_unique(std::size_t len, std::uint32_t universe, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  V v;
+  v.reserve(len * 2);
+  for (std::size_t i = 0; i < len * 2 && v.size() < len * 2; ++i)
+    v.push_back(static_cast<intersect::VertexId>(rng.next_below(universe)));
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  if (v.size() > len) v.resize(len);
+  return v;
+}
+
+/// args: {len_a, ratio} -> |B| = len_a * ratio. Covers the balanced regime
+/// (SSI's home turf) through the skewed regime (binary search's, Eq. 3).
+void args_matrix(benchmark::internal::Benchmark* b) {
+  for (int len : {64, 1024, 16384})
+    for (int ratio : {1, 8, 64}) b->Args({len, ratio});
+}
+
+void BM_SSI(benchmark::State& state) {
+  const auto a = sorted_unique(state.range(0), 1u << 24, 1);
+  const auto b = sorted_unique(state.range(0) * state.range(1), 1u << 24, 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(intersect::count_ssi(a, b));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_SSI)->Apply(args_matrix);
+
+void BM_Binary(benchmark::State& state) {
+  const auto a = sorted_unique(state.range(0), 1u << 24, 1);
+  const auto b = sorted_unique(state.range(0) * state.range(1), 1u << 24, 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(intersect::count_binary(a, b));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.size()));
+}
+BENCHMARK(BM_Binary)->Apply(args_matrix);
+
+void BM_Hybrid(benchmark::State& state) {
+  const auto a = sorted_unique(state.range(0), 1u << 24, 1);
+  const auto b = sorted_unique(state.range(0) * state.range(1), 1u << 24, 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(intersect::count_hybrid(a, b));
+}
+BENCHMARK(BM_Hybrid)->Apply(args_matrix);
+
+void BM_SSIParallel(benchmark::State& state) {
+  const auto a = sorted_unique(1 << 16, 1u << 24, 1);
+  const auto b = sorted_unique(1 << 18, 1u << 24, 2);
+  const intersect::ParallelConfig cfg{
+      .num_threads = static_cast<int>(state.range(0)), .cutoff = 0};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(intersect::count_ssi_parallel(a, b, cfg));
+}
+BENCHMARK(BM_SSIParallel)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_BinaryParallel(benchmark::State& state) {
+  const auto a = sorted_unique(1 << 12, 1u << 24, 1);
+  const auto b = sorted_unique(1 << 20, 1u << 24, 2);
+  const intersect::ParallelConfig cfg{
+      .num_threads = static_cast<int>(state.range(0)), .cutoff = 0};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(intersect::count_binary_parallel(a, b, cfg));
+}
+BENCHMARK(BM_BinaryParallel)->Arg(1)->Arg(2)->Arg(4);
+
+/// Upper-triangle trimming (paper Section II-C de-duplication).
+void BM_CountAbove(benchmark::State& state) {
+  const auto a = sorted_unique(4096, 1u << 24, 1);
+  const auto b = sorted_unique(4096, 1u << 24, 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        intersect::count_common_above(a, b, 1u << 23));
+}
+BENCHMARK(BM_CountAbove);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,160 @@
+#pragma once
+
+// Shared helpers for the per-figure bench binaries.
+//
+// Every binary runs WITHOUT arguments using proxy graphs scaled to fit a
+// small container (see DESIGN.md section 1 for the proxy rationale), and
+// accepts --scale-boost=N to grow every proxy by N R-MAT scale steps toward
+// the paper's sizes, plus --graph-file=PATH to run on a real SNAP edge list
+// when one is available offline.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "atlc/graph/clean.hpp"
+#include "atlc/graph/csr.hpp"
+#include "atlc/graph/degree_stats.hpp"
+#include "atlc/graph/generators.hpp"
+#include "atlc/graph/io.hpp"
+#include "atlc/intersect/cost_model.hpp"
+#include "atlc/util/cli.hpp"
+#include "atlc/util/table.hpp"
+
+namespace atlc::bench {
+
+using graph::CSRGraph;
+using graph::Directedness;
+
+/// A named proxy for one of the paper's Table II graphs.
+struct ProxySpec {
+  std::string name;        ///< paper's dataset name
+  std::string proxy_desc;  ///< how the proxy is generated
+  unsigned scale;          ///< R-MAT scale at boost 0 (ignored for circles/uniform)
+  unsigned edge_factor;
+  Directedness dir;
+  std::uint64_t seed;
+  enum class Kind { Rmat, Uniform, Circles } kind;
+};
+
+/// The proxy registry. Scales are chosen so that every bench completes in
+/// tens of seconds on two cores; the *structure* (degree skew, clustering)
+/// matches the original dataset class. Paper graphs: Table II.
+inline const std::vector<ProxySpec>& proxy_registry() {
+  static const std::vector<ProxySpec> specs = {
+      // Scale-free R-MAT instances the paper generates itself.
+      {"R-MAT-S21-EF16", "R-MAT a=.57 b=c=.19 d=.05 (paper S21)", 13, 16,
+       Directedness::Undirected, 21, ProxySpec::Kind::Rmat},
+      {"R-MAT-S23-EF16", "R-MAT (paper S23)", 14, 16,
+       Directedness::Undirected, 23, ProxySpec::Kind::Rmat},
+      {"R-MAT-S30-EF16", "R-MAT (paper S30)", 15, 16,
+       Directedness::Undirected, 30, ProxySpec::Kind::Rmat},
+      // Real-graph proxies: edge factor matched to the dataset's m/n ratio,
+      // R-MAT skew stands in for the social/web power law.
+      {"Orkut", "R-MAT EF=39 proxy (3M/117M social graph)", 12, 39,
+       Directedness::Undirected, 101, ProxySpec::Kind::Rmat},
+      {"LiveJournal", "R-MAT EF=9 proxy (4M/34.7M social graph)", 13, 9,
+       Directedness::Undirected, 102, ProxySpec::Kind::Rmat},
+      {"LiveJournal1", "R-MAT EF=14 proxy (4.8M/69M, paper runs directed)",
+       13, 14, Directedness::Undirected, 103, ProxySpec::Kind::Rmat},
+      {"Skitter", "R-MAT EF=7 proxy (1.7M/11.1M internet topology)", 13, 7,
+       Directedness::Undirected, 104, ProxySpec::Kind::Rmat},
+      {"uk-2005", "R-MAT EF=24 proxy (39.5M/936M web crawl)", 13, 24,
+       Directedness::Undirected, 105, ProxySpec::Kind::Rmat},
+      {"wiki-en", "R-MAT EF=32 proxy (13.6M/437M hyperlink graph)", 13, 32,
+       Directedness::Undirected, 106, ProxySpec::Kind::Rmat},
+      {"Facebook-circles", "social-circles generator (4k/88k ego nets)", 12,
+       0, Directedness::Undirected, 107, ProxySpec::Kind::Circles},
+      {"Uniform", "Erdos-Renyi control (flat degrees, paper Fig. 4)", 13, 16,
+       Directedness::Undirected, 108, ProxySpec::Kind::Uniform},
+  };
+  return specs;
+}
+
+inline const ProxySpec& find_proxy(const std::string& name) {
+  for (const auto& s : proxy_registry())
+    if (s.name == name) return s;
+  std::fprintf(stderr, "unknown proxy graph: %s\n", name.c_str());
+  std::abort();
+}
+
+/// Build (and memoise) a proxy graph. `scale_boost` raises the R-MAT scale
+/// toward paper sizes.
+inline const CSRGraph& build_proxy(const ProxySpec& spec, int scale_boost = 0) {
+  static std::map<std::string, CSRGraph> cache;
+  const std::string key = spec.name + "+" + std::to_string(scale_boost);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  const unsigned scale = spec.scale + static_cast<unsigned>(scale_boost);
+  graph::EdgeList edges;
+  switch (spec.kind) {
+    case ProxySpec::Kind::Rmat:
+      edges = graph::generate_rmat({.scale = scale,
+                                    .edge_factor = spec.edge_factor,
+                                    .seed = spec.seed,
+                                    .directedness = spec.dir});
+      break;
+    case ProxySpec::Kind::Uniform:
+      edges = graph::generate_uniform(
+          {.num_vertices = graph::VertexId{1} << scale,
+           .num_edges = (std::uint64_t{1} << scale) * spec.edge_factor,
+           .seed = spec.seed,
+           .directedness = spec.dir});
+      break;
+    case ProxySpec::Kind::Circles:
+      edges = graph::generate_circles(
+          {.num_vertices = graph::VertexId{1} << scale, .seed = spec.seed});
+      break;
+  }
+  // Paper Section II-B pipeline: dedup, drop degree<2, random relabel.
+  graph::clean(edges, {.relabel_seed = spec.seed * 7919 + 13});
+  auto [ins, ok] = cache.emplace(key, CSRGraph::from_edges(edges));
+  return ins->second;
+}
+
+/// Load a real dataset if --graph-file is given, else the named proxy.
+inline CSRGraph load_graph_or_proxy(const util::Cli& cli,
+                                    const std::string& proxy_name) {
+  const std::string& path = cli.get_string("graph-file");
+  if (!path.empty()) {
+    auto edges = graph::load_text_edges(path, Directedness::Undirected);
+    graph::clean(edges, {.relabel_seed = 1});
+    return CSRGraph::from_edges(edges);
+  }
+  return build_proxy(find_proxy(proxy_name),
+                     static_cast<int>(cli.get_int("scale-boost")));
+}
+
+/// Register the flags every bench shares.
+inline void add_common_flags(util::Cli& cli) {
+  cli.add_int("scale-boost",
+              "grow every proxy by this many R-MAT scale steps "
+              "(each step doubles vertices; paper scale needs +6..+8)",
+              0);
+  cli.add_string("graph-file",
+                 "run on a real whitespace edge list (SNAP format) instead "
+                 "of the synthetic proxy",
+                 "");
+}
+
+/// Calibrated intersection-cost model, measured once per process.
+inline const intersect::CostModel& calibrated_cost() {
+  static const intersect::CostModel m = intersect::CostModel::calibrate();
+  return m;
+}
+
+/// One-line graph description for bench headers.
+inline std::string describe(const CSRGraph& g) {
+  const auto st = graph::degree_stats(g);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "|V|=%u |E|=%llu CSR=%s max_deg=%u gini=%.2f",
+                g.num_vertices(),
+                static_cast<unsigned long long>(g.num_edges()),
+                util::Table::fmt_bytes(g.csr_bytes()).c_str(), st.max,
+                st.gini);
+  return buf;
+}
+
+}  // namespace atlc::bench

@@ -1,0 +1,102 @@
+// Community analysis with LCC (the paper's first motivating application,
+// Section I: "LCC is used to detect communities, distinguishing between
+// vertices that are central to the cluster from others on its frontier").
+//
+// On a social-circles graph, vertices inside a circle have high LCC (their
+// friends know each other); bridge/hub vertices that span circles have low
+// LCC. This example computes LCC distributed, then classifies vertices and
+// summarises the communities' structure.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "atlc/core/lcc.hpp"
+#include "atlc/graph/clean.hpp"
+#include "atlc/graph/degree_stats.hpp"
+#include "atlc/graph/generators.hpp"
+#include "atlc/util/cli.hpp"
+#include "atlc/util/stats.hpp"
+#include "atlc/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace atlc;
+
+  util::Cli cli("social_circles_lcc", "community core/frontier analysis");
+  cli.add_int("vertices", "graph size", 4096);
+  cli.add_int("ranks", "simulated compute nodes", 4);
+  if (!cli.parse(argc, argv)) return 1;
+
+  auto edges = graph::generate_circles(
+      {.num_vertices = static_cast<graph::VertexId>(cli.get_int("vertices")),
+       .seed = 2026});
+  graph::clean(edges);
+  const auto g = graph::CSRGraph::from_edges(edges);
+  std::printf("social graph: %u members, %llu friendship slots\n",
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+
+  core::EngineConfig config;
+  config.use_cache = true;
+  config.cache_sizing =
+      core::CacheSizing::paper_default(g.num_vertices(), g.csr_bytes() / 2);
+  const auto result = core::run_distributed_lcc(
+      g, static_cast<std::uint32_t>(cli.get_int("ranks")), config);
+
+  // LCC distribution.
+  const auto summary = util::summarize(result.lcc);
+  std::printf("\nLCC distribution: median %.3f, mean %.3f, max %.3f\n",
+              summary.median, summary.mean, summary.max);
+
+  const auto hist = util::histogram(result.lcc, 10);
+  util::Table dist({"LCC range", "members"});
+  for (std::size_t b = 0; b < hist.counts.size(); ++b) {
+    char range[48];
+    const double w = (hist.hi - hist.lo) / 10.0;
+    std::snprintf(range, sizeof(range), "[%.2f, %.2f)",
+                  hist.lo + w * static_cast<double>(b),
+                  hist.lo + w * static_cast<double>(b + 1));
+    dist.add_row({range, util::Table::fmt_int(hist.counts[b])});
+  }
+  dist.print("LCC histogram");
+
+  // Classify: community cores (high LCC, moderate degree), frontiers
+  // (low LCC), and hubs (high degree, typically low LCC — they bridge).
+  std::uint64_t cores = 0, frontiers = 0, hubs = 0;
+  const auto deg_stats = graph::degree_stats(g);
+  const double hub_degree = 4.0 * deg_stats.mean;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) >= hub_degree)
+      ++hubs;
+    else if (result.lcc[v] >= 0.5)
+      ++cores;
+    else
+      ++frontiers;
+  }
+  util::Table roles({"role", "count", "criterion"});
+  roles.add_row({"community core", util::Table::fmt_int(cores),
+                 "LCC >= 0.5, non-hub"});
+  roles.add_row({"community frontier", util::Table::fmt_int(frontiers),
+                 "LCC < 0.5, non-hub"});
+  roles.add_row({"bridge hub", util::Table::fmt_int(hubs),
+                 "degree >= 4x mean"});
+  roles.print("member roles");
+
+  // Hub LCC vs core LCC: hubs should cluster less (they span circles).
+  double hub_lcc = 0, core_lcc = 0;
+  std::uint64_t nh = 0, nc = 0;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) >= hub_degree) {
+      hub_lcc += result.lcc[v];
+      ++nh;
+    } else {
+      core_lcc += result.lcc[v];
+      ++nc;
+    }
+  }
+  if (nh && nc)
+    std::printf("\nmean LCC: hubs %.3f vs non-hubs %.3f "
+                "(bridges cluster less, as expected)\n",
+                hub_lcc / static_cast<double>(nh),
+                core_lcc / static_cast<double>(nc));
+  return 0;
+}

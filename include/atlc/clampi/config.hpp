@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace atlc::clampi {
+
+/// Consistency mode (CLaMPI, Di Girolamo et al. IPDPS'17, Section II-F of
+/// the paper).
+enum class Mode : std::uint8_t {
+  /// No assumption about data: flush at every epoch closure. Saves repeated
+  /// accesses within one epoch only.
+  Transparent,
+  /// Data accessed via RMA is read-only: never flush automatically. This is
+  /// the mode the paper uses for both LCC windows ("the graph is never
+  /// modified during the computation").
+  AlwaysCache,
+  /// The application decides when to flush.
+  UserDefined,
+};
+
+/// Victim-selection policy.
+enum class VictimPolicy : std::uint8_t {
+  /// CLaMPI default: least-recently-used weighted by a positional score
+  /// that prefers evicting entries whose removal merges free regions
+  /// (reduces external fragmentation).
+  LruPositional,
+  /// This paper's extension (Section III-B2): the application supplies a
+  /// score per entry (degree centrality for C_adj); the lowest-scored entry
+  /// is evicted. The spatial anti-fragmentation effect is deliberately
+  /// lost, as the paper notes.
+  UserScore,
+};
+
+struct CacheConfig {
+  /// Capacity of the memory buffer holding cached payloads.
+  std::uint64_t buffer_bytes = 1ull << 20;
+  /// Number of hash-table slots. CLaMPI sizing heuristics (paper
+  /// Section III-B1): ~ one slot per expected entry; see
+  /// `suggest_hash_slots_*` helpers in cache.hpp.
+  std::size_t hash_slots = 4096;
+  /// Linear-probing window; a full window is a hash *conflict*.
+  std::size_t probe_limit = 8;
+  Mode mode = Mode::AlwaysCache;
+  VictimPolicy policy = VictimPolicy::LruPositional;
+  /// LruPositional: how many LRU-tail candidates compete on positional score.
+  std::size_t lru_window = 16;
+  /// Track first-seen keys to classify compulsory misses (costs one hash-set
+  /// entry per distinct key; disable for very large key spaces).
+  bool classify_misses = true;
+  /// Adaptive tuning (CLaMPI): grow the hash table when conflicts are
+  /// frequent. Each adjustment FLUSHES the cache (paper Section III-B1).
+  bool adaptive = false;
+  std::size_t adaptive_interval = 4096;  ///< accesses between checks
+  double adaptive_conflict_threshold = 0.05;
+  std::size_t max_hash_slots = 1u << 22;
+};
+
+/// Cache observability counters (drive paper Figs. 7 and 8).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t compulsory_misses = 0;  ///< key never seen before
+  std::uint64_t capacity_misses = 0;    ///< key evicted earlier for space
+  std::uint64_t conflict_misses = 0;    ///< key evicted earlier by hash conflict
+  std::uint64_t flush_misses = 0;       ///< key dropped by a flush
+  std::uint64_t evictions_space = 0;
+  std::uint64_t evictions_conflict = 0;
+  std::uint64_t insert_failures = 0;  ///< entry larger than the whole buffer
+  /// UserScore policy: inserts skipped because the incoming entry scored
+  /// lower than every eviction candidate (paper Section III-B2: "avoid
+  /// storing a high number of low-degree vertices").
+  std::uint64_t admission_rejects = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t hash_resizes = 0;
+  std::uint64_t bytes_hit = 0;
+  std::uint64_t bytes_missed = 0;
+
+  CacheStats& operator+=(const CacheStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    compulsory_misses += o.compulsory_misses;
+    capacity_misses += o.capacity_misses;
+    conflict_misses += o.conflict_misses;
+    flush_misses += o.flush_misses;
+    evictions_space += o.evictions_space;
+    evictions_conflict += o.evictions_conflict;
+    insert_failures += o.insert_failures;
+    admission_rejects += o.admission_rejects;
+    flushes += o.flushes;
+    hash_resizes += o.hash_resizes;
+    bytes_hit += o.bytes_hit;
+    bytes_missed += o.bytes_missed;
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t accesses() const { return hits + misses; }
+  [[nodiscard]] double hit_rate() const {
+    return accesses() ? static_cast<double>(hits) /
+                            static_cast<double>(accesses())
+                      : 0.0;
+  }
+  [[nodiscard]] double miss_rate() const {
+    return accesses() ? 1.0 - hit_rate() : 0.0;
+  }
+};
+
+}  // namespace atlc::clampi

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+namespace atlc::clampi {
+
+/// Free-region manager for the cache's memory buffer.
+///
+/// CLaMPI stores free regions in an AVL tree to support variable-size
+/// entries; this implementation keeps two balanced-tree indexes (std::map is
+/// a red-black tree — same O(log n) class): by offset for O(log n)
+/// coalescing on free, and by size for best-fit allocation. External
+/// fragmentation (free space split into unusably small pieces) is exactly
+/// the failure mode the positional eviction score mitigates.
+class FreeSpace {
+ public:
+  explicit FreeSpace(std::uint64_t capacity);
+
+  /// Best-fit allocation. Returns the offset, or nullopt if no single free
+  /// region can hold `bytes` (even if total_free() >= bytes — that is
+  /// external fragmentation).
+  std::optional<std::uint64_t> allocate(std::uint64_t bytes);
+
+  /// Return a region to the free pool, coalescing with adjacent regions.
+  void release(std::uint64_t offset, std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t total_free() const { return total_free_; }
+  [[nodiscard]] std::uint64_t largest_free() const;
+
+  /// Bytes of free space adjacent to [offset, offset+bytes) — the "merge
+  /// benefit" of evicting the entry living there (positional score input).
+  [[nodiscard]] std::uint64_t adjacent_free(std::uint64_t offset,
+                                            std::uint64_t bytes) const;
+
+  /// 0 = one contiguous free region; ->1 = heavily fragmented.
+  [[nodiscard]] double fragmentation() const;
+
+  /// Number of disjoint free regions.
+  [[nodiscard]] std::size_t num_regions() const { return by_offset_.size(); }
+
+  /// Free regions keyed by offset (read-only view). The cache's run-based
+  /// victim selection walks the buffer layout through this.
+  [[nodiscard]] const std::map<std::uint64_t, std::uint64_t>&
+  regions_by_offset() const {
+    return by_offset_;
+  }
+
+  /// Size of the free region starting exactly at `offset`, or 0.
+  [[nodiscard]] std::uint64_t region_at(std::uint64_t offset) const {
+    const auto it = by_offset_.find(offset);
+    return it == by_offset_.end() ? 0 : it->second;
+  }
+
+  /// Drop everything and return to a single free region.
+  void reset();
+
+ private:
+  void insert_region(std::uint64_t offset, std::uint64_t bytes);
+  void erase_region(std::map<std::uint64_t, std::uint64_t>::iterator it);
+
+  std::uint64_t capacity_;
+  std::uint64_t total_free_;
+  std::map<std::uint64_t, std::uint64_t> by_offset_;       // offset -> size
+  std::multimap<std::uint64_t, std::uint64_t> by_size_;    // size -> offset
+};
+
+}  // namespace atlc::clampi

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "atlc/graph/csr.hpp"
+#include "atlc/graph/partition.hpp"
+#include "atlc/rma/runtime.hpp"
+
+namespace atlc::core {
+
+using graph::CSRGraph;
+using graph::Directedness;
+using graph::EdgeIndex;
+using graph::Partition;
+using graph::VertexId;
+
+/// Per-rank view of the 1D-distributed graph (paper Section III-A, Fig. 3):
+/// the rank's CSR partition plus the two RMA windows every rank exposes —
+/// `w_offsets` over its offsets array and `w_adj` over its adjacencies
+/// array. Reading a remote adjacency list takes two gets: offsets[lv, lv+2)
+/// from the owner's w_offsets, then adjacencies[start, end) from its w_adj.
+struct DistGraph {
+  Partition partition;
+  Directedness directedness = Directedness::Undirected;
+
+  /// Local partition as a compact CSR over local vertex indices
+  /// (global id = partition.global_id(rank, local_index)). Adjacency
+  /// entries remain GLOBAL vertex ids.
+  std::vector<EdgeIndex> offsets;       // n_local + 1
+  std::vector<VertexId> adjacencies;    // local edge count
+
+  rma::Window<EdgeIndex> w_offsets;
+  rma::Window<VertexId> w_adj;
+
+  [[nodiscard]] VertexId num_local() const {
+    return static_cast<VertexId>(offsets.size() - 1);
+  }
+  [[nodiscard]] std::span<const VertexId> local_neighbors(VertexId lv) const {
+    return {adjacencies.data() + offsets[lv],
+            adjacencies.data() + offsets[lv + 1]};
+  }
+  [[nodiscard]] VertexId local_degree(VertexId lv) const {
+    return static_cast<VertexId>(offsets[lv + 1] - offsets[lv]);
+  }
+};
+
+/// Build the rank-local partition from the (process-shared) global CSR and
+/// expose it over RMA windows. Collective: every rank must call it.
+///
+/// In a real MPI deployment each rank would read only its chunk from disk
+/// (paper Fig. 3, step 1); in this shared-address-space simulation the
+/// "read" is a slice-copy out of the shared CSR, preserving the property
+/// that a rank's accessible state is its own partition + the windows.
+[[nodiscard]] DistGraph build_dist_graph(rma::RankCtx& ctx,
+                                         const CSRGraph& global,
+                                         const Partition& partition);
+
+}  // namespace atlc::core

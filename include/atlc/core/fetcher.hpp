@@ -1,0 +1,78 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "atlc/clampi/cached_window.hpp"
+#include "atlc/core/dist_graph.hpp"
+#include "atlc/core/lcc.hpp"
+
+namespace atlc::core {
+
+/// Fetches the adjacency list of an arbitrary global vertex, implementing
+/// the paper's two-get protocol (Fig. 3 steps 4-5):
+///   1. get offsets[lv, lv+2) from the owner's w_offsets -> (start, end);
+///   2. get adjacencies[start, end) from the owner's w_adj.
+/// Step 1 is synchronous (step 2 depends on its result); step 2 can stay in
+/// flight while the caller computes — that is the engine's double buffering.
+///
+/// With caching enabled, both gets go through CLaMPI-style CachedWindows.
+/// Per the paper, C_offsets always uses CLaMPI's default eviction scores
+/// (there is no useful application score before the degree is known), while
+/// C_adj uses the configured policy, scoring entries by the out-degree
+/// learned from step 1 (Section III-B2).
+class AdjacencyFetcher {
+ public:
+  AdjacencyFetcher(rma::RankCtx& ctx, const DistGraph& dg,
+                   const EngineConfig& config);
+
+  /// In-flight adjacency fetch. At most two may exist concurrently (the
+  /// engine's current + prefetched next); each occupies one buffer slot.
+  struct Token {
+    bool local = false;
+    std::span<const VertexId> local_span{};
+    int slot = 0;
+    std::uint64_t count = 0;
+    VertexId degree = 0;
+    bool cached = false;
+    clampi::CachedWindow<VertexId>::Pending pending{};
+    rma::GetHandle handle{};
+  };
+
+  /// Start fetching adj(v). Local vertices resolve immediately.
+  [[nodiscard]] Token begin(VertexId v);
+
+  /// Complete the fetch; the returned span stays valid until the slot is
+  /// reused (i.e. one more begin() after the next).
+  [[nodiscard]] std::span<const VertexId> finish(const Token& t);
+
+  [[nodiscard]] bool has_offsets_cache() const {
+    return c_offsets_.has_value();
+  }
+  [[nodiscard]] bool has_adj_cache() const { return c_adj_.has_value(); }
+  [[nodiscard]] clampi::Cache& offsets_cache() { return c_offsets_->cache(); }
+  [[nodiscard]] clampi::Cache& adj_cache() { return c_adj_->cache(); }
+
+  /// Remote adjacency fetches performed (== remote edges processed).
+  [[nodiscard]] std::uint64_t remote_fetches() const { return remote_fetches_; }
+
+  /// Per-global-vertex remote read counts (empty unless
+  /// EngineConfig::track_remote_reads).
+  [[nodiscard]] const std::vector<std::uint64_t>& remote_reads() const {
+    return remote_reads_;
+  }
+
+ private:
+  rma::RankCtx* ctx_;
+  const DistGraph* dg_;
+  const EngineConfig* config_;
+  std::optional<clampi::CachedWindow<EdgeIndex>> c_offsets_;
+  std::optional<clampi::CachedWindow<VertexId>> c_adj_;
+  std::vector<VertexId> buffers_[2];
+  int next_slot_ = 0;
+  std::uint64_t remote_fetches_ = 0;
+  std::vector<std::uint64_t> remote_reads_;
+};
+
+}  // namespace atlc::core

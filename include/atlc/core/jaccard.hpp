@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "atlc/core/lcc.hpp"
+
+namespace atlc::core {
+
+/// Distributed per-edge Jaccard similarity — the paper's future-work
+/// direction (Section VI (ii): "investigating other graph problems that may
+/// benefit from the proposed approach", citing the communication-efficient
+/// Jaccard work [12]). The access pattern is identical to LCC — for each
+/// local edge (u, v), read adj(v) (possibly remote) and intersect with
+/// adj(u) — so the whole RMA + CLaMPI machinery is reused unchanged:
+///
+///   J(u, v) = |adj(u) ∩ adj(v)| / |adj(u) ∪ adj(v)|
+///
+/// Results are reported per adjacency slot: `similarity[k]` is J(u, v) for
+/// the k-th entry of the graph's adjacencies array (the edge u->v where u
+/// owns slot k). Link-prediction applications rank candidate edges by it.
+struct JaccardResult {
+  std::vector<double> similarity;  ///< one per adjacency slot
+  rma::Runtime::Result run;
+  clampi::CacheStats adj_cache_total;
+  std::uint64_t remote_edges = 0;
+};
+
+/// Runs on the same EngineConfig as LCC (method, caching, double buffering,
+/// partitioning all apply; `upper_triangle_only` must stay false).
+[[nodiscard]] JaccardResult run_distributed_jaccard(
+    const CSRGraph& g, std::uint32_t ranks, const EngineConfig& config = {},
+    const rma::NetworkModel& net = {},
+    graph::PartitionKind partition = graph::PartitionKind::Block1D);
+
+/// Single-node reference for validation.
+[[nodiscard]] std::vector<double> reference_jaccard(const CSRGraph& g);
+
+}  // namespace atlc::core

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atlc/graph/csr.hpp"
+
+namespace atlc::graph {
+
+/// Degree-distribution statistics used by Table II, Figure 4 and the cache
+/// sizing heuristic of Section III-B1.
+struct DegreeStats {
+  VertexId min = 0;
+  VertexId max = 0;
+  double mean = 0.0;
+  /// Maximum-likelihood power-law exponent alpha (Clauset-style MLE over
+  /// degrees >= xmin). Meaningful only for heavy-tailed graphs.
+  double power_law_alpha = 0.0;
+  /// Gini coefficient of the degree distribution; ~0 for uniform graphs,
+  /// high (>0.5) for scale-free ones. Used by benches to label graphs.
+  double gini = 0.0;
+};
+
+[[nodiscard]] DegreeStats degree_stats(const CSRGraph& g, VertexId xmin = 2);
+
+/// Vertex ids sorted by descending out-degree (ties by id).
+[[nodiscard]] std::vector<VertexId> vertices_by_degree_desc(const CSRGraph& g);
+
+/// Fraction of `weights` mass attributable to the top `fraction` of vertices
+/// when vertices are ranked by descending degree. This is exactly the
+/// quantity highlighted in paper Fig. 4 ("fraction of remote reads that
+/// target the top 10% of the highest degree vertices").
+[[nodiscard]] double top_degree_share(const CSRGraph& g,
+                                      const std::vector<std::uint64_t>& weights,
+                                      double fraction);
+
+/// Reciprocity of a directed graph: fraction of edges whose reverse exists.
+/// (Paper Section III-B1 cites high reciprocity to argue Observation 3.2
+/// carries over to directed graphs.) Returns 1.0 for undirected graphs.
+[[nodiscard]] double reciprocity(const CSRGraph& g);
+
+}  // namespace atlc::graph

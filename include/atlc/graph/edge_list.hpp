@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "atlc/graph/types.hpp"
+
+namespace atlc::graph {
+
+/// Mutable edge-list representation used during graph construction and
+/// cleaning. The CSR build (csr.hpp) consumes a cleaned EdgeList.
+class EdgeList {
+ public:
+  EdgeList() = default;
+  EdgeList(VertexId num_vertices, std::vector<Edge> edges,
+           Directedness directedness)
+      : n_(num_vertices), edges_(std::move(edges)), dir_(directedness) {}
+
+  [[nodiscard]] VertexId num_vertices() const { return n_; }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+  [[nodiscard]] Directedness directedness() const { return dir_; }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+  [[nodiscard]] std::vector<Edge>& edges() { return edges_; }
+
+  void set_num_vertices(VertexId n) { n_ = n; }
+  void set_directedness(Directedness d) { dir_ = d; }
+  void add_edge(VertexId u, VertexId v) { edges_.push_back({u, v}); }
+
+  /// Sort edges lexicographically and drop exact duplicates (multi-edges).
+  void sort_and_dedup();
+
+  /// Remove self loops (u == u).
+  void remove_self_loops();
+
+  /// For an undirected graph, ensure both orientations of every edge are
+  /// present (idempotent; dedups afterwards). No-op for directed graphs.
+  void symmetrize();
+
+  /// True if for every (u,v) the reverse (v,u) is also present.
+  /// Precondition: sorted.
+  [[nodiscard]] bool is_symmetric() const;
+
+ private:
+  VertexId n_ = 0;
+  std::vector<Edge> edges_;
+  Directedness dir_ = Directedness::Undirected;
+};
+
+}  // namespace atlc::graph

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+
+#include "atlc/graph/edge_list.hpp"
+
+namespace atlc::graph {
+
+/// R-MAT recursive generator parameters (Chakrabarti, Zhan & Faloutsos,
+/// SDM'04). The paper (Section IV-A) generates graphs with
+/// a=0.57, b=c=0.19, d=0.05, scale x and edge factor y: 2^x vertices and
+/// 2^(x+y)... NOTE: the paper says "2^x vertices and 2^x * y edges" — an
+/// R-MAT with scale S and edge factor EF has 2^S vertices and EF*2^S edges
+/// (Graph500 convention), which we follow.
+struct RmatParams {
+  unsigned scale = 16;       ///< 2^scale vertices
+  unsigned edge_factor = 16; ///< edge_factor * 2^scale directed edge samples
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  std::uint64_t seed = 1;
+  Directedness directedness = Directedness::Undirected;
+  /// Perturb quadrant probabilities at each recursion level (+/-5%), the
+  /// standard "noise" that avoids exact self-similarity artifacts.
+  bool noise = true;
+};
+
+/// Generate an R-MAT edge list. Self-loops and duplicates are NOT removed
+/// here; run graph::clean afterwards (matches the paper's pipeline, which
+/// dedups and drops degree<2 vertices before building the CSR).
+[[nodiscard]] EdgeList generate_rmat(const RmatParams& params);
+
+/// Uniform (Erdos–Renyi G(n,m)-style) generator: `num_edges` edges sampled
+/// uniformly at random. Used as the flat-degree control in paper Fig. 4.
+struct UniformParams {
+  VertexId num_vertices = 1u << 16;
+  std::uint64_t num_edges = 1u << 20;
+  std::uint64_t seed = 1;
+  Directedness directedness = Directedness::Undirected;
+};
+
+[[nodiscard]] EdgeList generate_uniform(const UniformParams& params);
+
+/// "Social circles" generator: a synthetic stand-in for the Facebook-circles
+/// dataset [McAuley & Leskovec, NIPS'12] used in paper Figs. 1 and 5
+/// (4,039 vertices / 88,234 edges, high clustering, skewed degrees).
+///
+/// Construction: vertices are grouped into power-law-sized communities
+/// ("circles"); within a circle edges appear with high probability
+/// `p_intra`; a small number of hub vertices join many circles; `p_rewire`
+/// of edge endpoints are rewired uniformly to create weak ties. This yields
+/// the two properties the paper's figures rely on: heavy-tailed degree
+/// distribution (hub reuse) and high local clustering (many triangles).
+struct CirclesParams {
+  VertexId num_vertices = 4096;
+  double avg_circle_size = 24.0;
+  double circle_size_alpha = 2.0;  ///< power-law exponent of circle sizes
+  double p_intra = 0.60;
+  double p_rewire = 0.03;
+  unsigned hubs = 28;              ///< vertices joining many circles
+  unsigned circles_per_hub = 52;
+  std::uint64_t seed = 7;
+};
+// Defaults are tuned so the 4096-vertex instance matches the Facebook
+// circles dataset the paper uses in Figs. 1 and 5 (4,039 vertices, 88,234
+// undirected edges, mean degree ~44, heavy-tailed, mean LCC ~0.5-0.6).
+
+[[nodiscard]] EdgeList generate_circles(const CirclesParams& params);
+
+}  // namespace atlc::graph

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+namespace atlc::graph {
+
+/// Vertex identifier. 32 bits covers every graph in the paper's Table II
+/// (largest: R-MAT S30 with 2^30 vertices) while halving adjacency memory
+/// and network traffic vs 64-bit ids — the same choice production graph
+/// frameworks make.
+using VertexId = std::uint32_t;
+
+/// Index into a CSR adjacencies array. 64 bits: edge counts exceed 2^32
+/// for the paper's large graphs (R-MAT S30: 1.7e10 directed edges).
+using EdgeIndex = std::uint64_t;
+
+/// A directed edge (u -> v). Undirected graphs store both orientations.
+struct Edge {
+  VertexId u;
+  VertexId v;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Graph directedness. Affects LCC normalisation (paper Eqs. 1 vs 2) and
+/// generator symmetrisation.
+enum class Directedness : std::uint8_t { Undirected, Directed };
+
+}  // namespace atlc::graph

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+
+#include "atlc/intersect/intersect.hpp"
+
+namespace atlc::intersect {
+
+/// Analytic cost model of the intersection kernels, used by the distributed
+/// engine to charge *compute* time to a rank's virtual clock.
+///
+/// Rationale: the simulation oversubscribes CPU cores when running many
+/// ranks (e.g. 512 ranks on 2 cores), so measuring kernel wall time per edge
+/// would be polluted by descheduling, and CLOCK_THREAD_CPUTIME_ID costs a
+/// syscall per edge. Charging `c0 + c1 * work` with constants calibrated
+/// once against the real kernels keeps per-rank virtual time deterministic,
+/// oversubscription-proof, and faithful in shape (the paper's key ratio —
+/// communication dominating computation at scale — is preserved, and
+/// Section IV-D2 notes computation details have "minor effects on overall
+/// performance" in the distributed regime).
+struct CostModel {
+  double per_call_ns = 12.0;          ///< loop/setup overhead per edge
+  double ssi_ns_per_elem = 0.9;       ///< per element of |A| + |B|
+  double binary_ns_per_probe = 3.5;   ///< per key * log2(|B|) probe step
+
+  /// Predicted seconds for one |a ∩ b| with the given method. `Hybrid`
+  /// prices whichever kernel the Eq. (3) rule would pick.
+  [[nodiscard]] double seconds(Method m, std::size_t len_a,
+                               std::size_t len_b) const;
+
+  /// Predicted seconds for `keys` independent binary probes into a sorted
+  /// list of `tree` elements. Unlike seconds(), no argument swap happens:
+  /// this prices exactly that loop (TriC verifies each candidate closing
+  /// edge with its own search, even when candidates outnumber the list).
+  [[nodiscard]] double seconds_probes(std::size_t keys,
+                                      std::size_t tree) const;
+
+  /// Measure the real kernels on this host (one-time, ~10 ms) and return a
+  /// fitted model. Benches call this once; tests/defaults use the static
+  /// constants above.
+  [[nodiscard]] static CostModel calibrate();
+};
+
+}  // namespace atlc::intersect

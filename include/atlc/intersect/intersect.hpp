@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "atlc/graph/types.hpp"
+
+namespace atlc::intersect {
+
+using graph::VertexId;
+
+/// Intersection kernel selector (paper Section II-C / III-C).
+enum class Method : std::uint8_t {
+  Binary,  ///< Algorithm 1: binary-search each key of the shorter list
+  SSI,     ///< Algorithm 2: sorted set intersection (two-pointer merge)
+  Hybrid,  ///< per-pair choice via the Eq. (3) frontier rule
+};
+
+[[nodiscard]] const char* method_name(Method m);
+
+/// |a ∩ b| via binary search (paper Algorithm 1). Internally searches the
+/// shorter list's elements in the longer list — "one should always assign
+/// the longer list as the search tree and the shorter one as the array of
+/// keys". Preconditions: both spans sorted ascending, no duplicates.
+[[nodiscard]] std::uint64_t count_binary(std::span<const VertexId> a,
+                                         std::span<const VertexId> b);
+
+/// |a ∩ b| via sorted set intersection (paper Algorithm 2).
+[[nodiscard]] std::uint64_t count_ssi(std::span<const VertexId> a,
+                                      std::span<const VertexId> b);
+
+/// Eq. (3): SSI is predicted faster than binary search iff
+/// |B|/|A| <= log2(|B|) - 1, with |A| <= |B|.
+[[nodiscard]] bool prefer_ssi(std::size_t len_a, std::size_t len_b);
+
+/// |a ∩ b| choosing the kernel per Eq. (3) (paper hybrid method).
+[[nodiscard]] std::uint64_t count_hybrid(std::span<const VertexId> a,
+                                         std::span<const VertexId> b);
+
+/// Dispatch on a runtime-selected method.
+[[nodiscard]] std::uint64_t count_common(std::span<const VertexId> a,
+                                         std::span<const VertexId> b,
+                                         Method m = Method::Hybrid);
+
+/// |{x in a ∩ b : x > floor}| — the upper-triangle restriction of paper
+/// Section II-C that de-duplicates triangle enumeration: when processing
+/// edge (i,j), only common neighbors k with k > j are counted.
+[[nodiscard]] std::uint64_t count_common_above(std::span<const VertexId> a,
+                                               std::span<const VertexId> b,
+                                               VertexId floor,
+                                               Method m = Method::Hybrid);
+
+/// Trim `s` to the suffix with elements strictly greater than `floor`.
+[[nodiscard]] std::span<const VertexId> suffix_above(
+    std::span<const VertexId> s, VertexId floor);
+
+}  // namespace atlc::intersect

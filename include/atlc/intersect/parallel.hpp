@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "atlc/intersect/intersect.hpp"
+
+namespace atlc::intersect {
+
+/// OpenMP-parallel intersection (paper Section III-C).
+///
+/// Work split follows the paper: for the binary-search kernel the *shorter*
+/// (keys) list is chunked across threads; for SSI the *longer* list is
+/// chunked and every thread intersects its chunk against the full shorter
+/// list. Because both lists are strictly sorted, each common element lies in
+/// exactly one chunk of the partitioned list, so chunk counts sum exactly.
+///
+/// `cutoff`: below this combined length the sequential kernel runs instead —
+/// "a too-small parallel region would limit performance" (Section III-C).
+struct ParallelConfig {
+  int num_threads = 0;        ///< 0 = OpenMP default
+  std::size_t cutoff = 4096;  ///< sequential below |A|+|B| < cutoff
+};
+
+[[nodiscard]] std::uint64_t count_binary_parallel(std::span<const VertexId> a,
+                                                  std::span<const VertexId> b,
+                                                  const ParallelConfig& cfg = {});
+
+[[nodiscard]] std::uint64_t count_ssi_parallel(std::span<const VertexId> a,
+                                               std::span<const VertexId> b,
+                                               const ParallelConfig& cfg = {});
+
+/// Hybrid rule (Eq. 3) on top of the parallel kernels.
+[[nodiscard]] std::uint64_t count_hybrid_parallel(std::span<const VertexId> a,
+                                                  std::span<const VertexId> b,
+                                                  const ParallelConfig& cfg = {});
+
+[[nodiscard]] std::uint64_t count_common_parallel(std::span<const VertexId> a,
+                                                  std::span<const VertexId> b,
+                                                  Method m,
+                                                  const ParallelConfig& cfg = {});
+
+}  // namespace atlc::intersect

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+namespace atlc::rma {
+
+/// Per-rank communication counters. Benches aggregate these across ranks to
+/// produce the paper's reported quantities (remote-read fraction, comm-time
+/// share, average remote-read time, bytes moved).
+struct CommStats {
+  std::uint64_t remote_gets = 0;   ///< one-sided gets targeting other ranks
+  std::uint64_t local_gets = 0;    ///< window gets that resolved locally
+  std::uint64_t remote_bytes = 0;
+  std::uint64_t local_bytes = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t messages_sent = 0;  ///< two-sided (TriC substrate)
+  std::uint64_t bytes_sent = 0;
+
+  /// Virtual seconds this rank spent blocked on communication (waiting for
+  /// get completion, synchronising collectives, two-sided exchanges).
+  double comm_seconds = 0.0;
+  /// Virtual seconds charged as local computation (thread-CPU measured).
+  double compute_seconds = 0.0;
+
+  CommStats& operator+=(const CommStats& o) {
+    remote_gets += o.remote_gets;
+    local_gets += o.local_gets;
+    remote_bytes += o.remote_bytes;
+    local_bytes += o.local_bytes;
+    flushes += o.flushes;
+    barriers += o.barriers;
+    messages_sent += o.messages_sent;
+    bytes_sent += o.bytes_sent;
+    comm_seconds += o.comm_seconds;
+    compute_seconds += o.compute_seconds;
+    return *this;
+  }
+};
+
+}  // namespace atlc::rma

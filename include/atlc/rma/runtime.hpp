@@ -1,0 +1,172 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "atlc/rma/comm_stats.hpp"
+#include "atlc/rma/network_model.hpp"
+
+namespace atlc::rma {
+
+class RankCtx;
+namespace detail {
+struct SharedState;
+struct WindowState;
+}  // namespace detail
+
+/// Completion token of a non-blocking one-sided get (MPI-RMA semantics: the
+/// destination buffer may only be read after a flush). `complete_at` is the
+/// virtual time at which the transfer finishes under the network model.
+struct GetHandle {
+  double complete_at = 0.0;
+};
+
+/// Type-erased window core. A window is the simulated equivalent of an MPI
+/// window created over passive-target epochs: each rank exposes a read-only
+/// memory region; any rank may `get` from any part without involving the
+/// target (the graph is never mutated during computation, matching the
+/// paper's always-cache assumption).
+class WindowBase {
+ public:
+  WindowBase() = default;
+
+  /// Non-blocking byte-granularity get. Data lands in `dst` immediately in
+  /// this simulation, but the *virtual* completion respects alpha + s*beta
+  /// and per-rank NIC serialisation; callers must flush before relying on
+  /// virtual-time ordering.
+  GetHandle get_bytes(std::uint32_t target, std::uint64_t byte_offset,
+                      std::uint64_t bytes, void* dst) const;
+
+  [[nodiscard]] std::uint64_t part_bytes(std::uint32_t rank) const;
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  /// Stable identifier of this window within the runtime (creation order).
+  [[nodiscard]] std::uint64_t id() const;
+
+ protected:
+  friend class RankCtx;
+  detail::WindowState* state_ = nullptr;
+  RankCtx* ctx_ = nullptr;
+};
+
+/// Typed view over a WindowBase, analogous to an MPI window of `T` elements.
+template <typename T>
+class Window : public WindowBase {
+ public:
+  Window() = default;
+  explicit Window(WindowBase base) : WindowBase(base) {}
+
+  GetHandle get(std::uint32_t target, std::uint64_t offset,
+                std::uint64_t count, T* dst) const {
+    return get_bytes(target, offset * sizeof(T), count * sizeof(T), dst);
+  }
+
+  [[nodiscard]] std::uint64_t part_size(std::uint32_t rank) const {
+    return part_bytes(rank) / sizeof(T);
+  }
+};
+
+/// Per-rank execution context handed to the SPMD body. Mirrors the MPI-RMA
+/// toolbox the paper's implementation uses: window creation (collective),
+/// one-sided gets + flush (passive target), plus the small set of
+/// collectives needed around the asynchronous compute region.
+class RankCtx {
+ public:
+  [[nodiscard]] std::uint32_t rank() const { return rank_; }
+  [[nodiscard]] std::uint32_t num_ranks() const;
+  [[nodiscard]] const NetworkModel& net() const;
+
+  [[nodiscard]] CommStats& stats() { return stats_; }
+  [[nodiscard]] const CommStats& stats() const { return stats_; }
+
+  /// Virtual clock (seconds since run start on this rank).
+  [[nodiscard]] double now() const { return now_; }
+  /// Charge locally-measured computation to the virtual clock.
+  void charge_compute(double seconds);
+  /// Charge communication wait time to the virtual clock.
+  void charge_comm(double seconds);
+
+  /// Collective window creation: every rank contributes its local part.
+  /// Must be called by all ranks in the same order (like MPI_Win_create).
+  ///
+  /// LIFETIME: the exposed memory must stay valid until no peer can still
+  /// get from it. As with MPI_Win_free, synchronise (e.g. ctx.barrier())
+  /// before destroying an exposed buffer.
+  template <typename T>
+  Window<T> create_window(std::span<const T> local) {
+    return Window<T>(create_window_bytes(local.data(),
+                                         local.size() * sizeof(T), sizeof(T)));
+  }
+
+  /// Complete one pending get: advance the clock to its completion.
+  void flush(GetHandle h);
+  /// Complete all pending gets issued by this rank (MPI_Win_flush_all).
+  void flush_all();
+
+  /// Synchronising barrier: aligns all virtual clocks to the max + barrier
+  /// cost. Used at setup/teardown only — the compute loop is barrier-free.
+  void barrier();
+
+  std::uint64_t allreduce_sum(std::uint64_t value);
+  double allreduce_max(double value);
+
+  /// Blocking all-to-all of uint32 payloads (the TriC substrate). Entry i of
+  /// the argument is sent to rank i; entry i of the result was sent by rank
+  /// i. Synchronising: models TriC's round structure where every rank waits
+  /// for the slowest before proceeding.
+  std::vector<std::vector<std::uint32_t>> all_to_all(
+      const std::vector<std::vector<std::uint32_t>>& out);
+
+ private:
+  friend class Runtime;
+  friend class WindowBase;
+
+  RankCtx(detail::SharedState* shared, std::uint32_t rank)
+      : shared_(shared), rank_(rank) {}
+
+  WindowBase create_window_bytes(const void* data, std::uint64_t bytes,
+                                 std::size_t elem_size);
+
+  detail::SharedState* shared_;
+  std::uint32_t rank_;
+  CommStats stats_;
+  double now_ = 0.0;
+  double nic_free_ = 0.0;       ///< virtual time the injection port frees up
+  std::uint64_t window_seq_ = 0;
+};
+
+/// SPMD runtime: runs the rank body on `ranks` OS threads sharing one
+/// address space. This is the project's stand-in for `mpirun -n <p>` — see
+/// DESIGN.md section 1 for why the substitution preserves the paper's
+/// observable behaviour.
+class Runtime {
+ public:
+  struct Options {
+    std::uint32_t ranks = 2;
+    NetworkModel net{};
+  };
+
+  struct Result {
+    std::vector<CommStats> stats;   ///< per-rank counters
+    std::vector<double> clocks;     ///< per-rank final virtual time
+    double makespan = 0.0;          ///< max over clocks ("longest rank")
+    double wall_seconds = 0.0;      ///< real elapsed wall time of the run
+
+    [[nodiscard]] CommStats total() const {
+      CommStats t;
+      for (const auto& s : stats) t += s;
+      return t;
+    }
+  };
+
+  using RankFn = std::function<void(RankCtx&)>;
+
+  /// Launch the SPMD region and join. Exceptions thrown by any rank are
+  /// rethrown (first one wins) after all threads have been joined.
+  static Result run(const Options& options, const RankFn& fn);
+};
+
+}  // namespace atlc::rma

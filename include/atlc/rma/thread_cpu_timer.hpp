@@ -1,0 +1,37 @@
+#pragma once
+
+#include <ctime>
+
+namespace atlc::rma {
+
+/// Per-thread CPU-time timer (CLOCK_THREAD_CPUTIME_ID).
+///
+/// The runtime oversubscribes cores when simulating many ranks on few CPUs,
+/// so wall-clock time would count descheduled periods as "compute". Thread
+/// CPU time measures only the cycles this rank actually consumed, which is
+/// what gets charged to the rank's virtual clock.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &start_); }
+
+  void reset() { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &start_); }
+
+  [[nodiscard]] double elapsed_s() const {
+    timespec now{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &now);
+    return static_cast<double>(now.tv_sec - start_.tv_sec) +
+           static_cast<double>(now.tv_nsec - start_.tv_nsec) * 1e-9;
+  }
+
+  /// Elapsed time and reset in one call (for incremental charging).
+  double lap_s() {
+    const double e = elapsed_s();
+    reset();
+    return e;
+  }
+
+ private:
+  timespec start_{};
+};
+
+}  // namespace atlc::rma

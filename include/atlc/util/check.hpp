@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// ATLC_CHECK: precondition/invariant check that stays on in release builds.
+/// The HPC kernels in this project are bounds-sensitive (CSR offsets, cache
+/// buffer arithmetic); silent out-of-range arithmetic would corrupt results
+/// rather than crash, so violations abort with a source location.
+#define ATLC_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]] {                                            \
+      std::fprintf(stderr, "ATLC_CHECK failed at %s:%d: %s\n  %s\n",       \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Debug-only check for hot loops (compiled out under NDEBUG).
+#ifdef NDEBUG
+#define ATLC_DCHECK(cond, msg) ((void)0)
+#else
+#define ATLC_DCHECK(cond, msg) ATLC_CHECK(cond, msg)
+#endif

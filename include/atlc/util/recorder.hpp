@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "atlc/util/stats.hpp"
+
+namespace atlc::util {
+
+/// LibLSB-style benchmark recorder (Hoefler & Belli, "Scientific Benchmarking
+/// of Parallel Computing Systems", SC'15).
+///
+/// The paper's methodology (Section IV-A): "we report the median and repeated
+/// every experiment until the 5% of the median was within the 95% CI".
+/// `run_until_ci` implements exactly that stopping rule with configurable
+/// bounds so the argless bench binaries stay fast.
+class Recorder {
+ public:
+  struct Options {
+    std::size_t min_reps = 5;      ///< always take at least this many samples
+    std::size_t max_reps = 100;    ///< hard cap to bound bench runtime
+    double ci_fraction = 0.05;     ///< stop when CI within +/- 5% of median
+    std::size_t warmup_reps = 1;   ///< discarded leading runs
+  };
+
+  Recorder() : Recorder(Options{}) {}
+  explicit Recorder(Options opts) : opts_(opts) {}
+
+  /// Run `fn` repeatedly, timing each invocation, until the 95% CI of the
+  /// median is within `ci_fraction` of the median (or `max_reps` is hit).
+  /// Returns summary statistics of the retained samples in seconds.
+  Summary run_until_ci(const std::function<void()>& fn);
+
+  /// Record an externally-measured sample (seconds). Useful when the
+  /// measured quantity is produced by a simulation rather than wall clock.
+  void add_sample(double seconds) { samples_.push_back(seconds); }
+
+  /// Stopping rule applied to the externally-recorded samples.
+  [[nodiscard]] bool converged() const;
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+  [[nodiscard]] Summary summary() const { return summarize(samples_); }
+  void clear() { samples_.clear(); }
+
+ private:
+  Options opts_;
+  std::vector<double> samples_;
+};
+
+}  // namespace atlc::util

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace atlc::util {
+
+/// SplitMix64: tiny, fast generator used to seed Xoshiro and for cheap
+/// per-element hashing (e.g. vertex relabeling). Reference: Steele et al.,
+/// "Fast splittable pseudorandom number generators", OOPSLA'14.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless 64-bit mix of a value with a seed. Useful for deterministic
+/// pseudo-random permutations (random relabeling) without storing state.
+[[nodiscard]] inline std::uint64_t mix64(std::uint64_t x,
+                                         std::uint64_t seed = 0) {
+  x += 0x9e3779b97f4a7c15ULL + seed * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Xoshiro256**: the project-wide PRNG. Satisfies
+/// std::uniform_random_bit_generator so it can drive <random> distributions,
+/// but the common paths (uniform ints/doubles, bernoulli) are provided
+/// directly to keep generators allocation- and distribution-free.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction;
+  /// the modulo bias is negligible for the bounds used in this project
+  /// (graph sizes << 2^64).
+  std::uint64_t next_below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability `p`.
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace atlc::util

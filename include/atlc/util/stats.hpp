@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace atlc::util {
+
+/// Summary statistics over a sample of measurements.
+///
+/// The paper reports medians with 95% confidence intervals (LibLSB
+/// methodology). The CI on the median is computed with the distribution-free
+/// order-statistic method (binomial bounds); `Summary::ci_contains_within`
+/// implements the paper's stopping rule "repeat until 5% of the median is
+/// within the 95% CI".
+struct Summary {
+  std::size_t n = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double median = 0.0;
+  double ci95_lo = 0.0;  ///< lower bound of the 95% CI of the median
+  double ci95_hi = 0.0;  ///< upper bound of the 95% CI of the median
+
+  /// True if the 95% CI of the median lies within +/- `fraction*median`.
+  [[nodiscard]] bool ci_within_fraction_of_median(double fraction) const;
+};
+
+/// Compute all summary statistics of `sample`. Does not modify the input.
+[[nodiscard]] Summary summarize(std::span<const double> sample);
+
+/// Median of `sample` (copies internally; input unmodified).
+[[nodiscard]] double median(std::span<const double> sample);
+
+/// p-th percentile (0 <= p <= 100) using linear interpolation between ranks.
+[[nodiscard]] double percentile(std::span<const double> sample, double p);
+
+/// Distribution-free 95% CI of the median via binomial order statistics
+/// (Hahn & Meeker). Returns {lo, hi} ranks clamped to the sample range.
+[[nodiscard]] std::pair<double, double> median_ci95(
+    std::span<const double> sample);
+
+/// Histogram with `bins` equal-width buckets over [min, max] of the data.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> counts;
+};
+
+[[nodiscard]] Histogram histogram(std::span<const double> sample,
+                                  std::size_t bins);
+
+}  // namespace atlc::util

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace atlc::util {
+
+/// Aligned plain-text table printer. Every bench binary emits its results
+/// through this so `bench_output.txt` is stable, grep-able, and diffs
+/// cleanly against EXPERIMENTS.md.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` significant decimals.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_int(std::uint64_t v);
+  static std::string fmt_bytes(std::uint64_t bytes);
+  static std::string fmt_percent(double fraction, int precision = 1);
+
+  /// Render to stdout with a title banner.
+  void print(const std::string& title) const;
+
+  /// Render as a string (used by tests).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace atlc::util

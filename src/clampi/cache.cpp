@@ -1,0 +1,397 @@
+#include "atlc/clampi/cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "atlc/util/check.hpp"
+#include "atlc/util/rng.hpp"
+
+namespace atlc::clampi {
+
+std::uint64_t key_hash(const Key& k) {
+  std::uint64_t h = util::mix64(k.target, 0x9E3779B9u);
+  h = util::mix64(h ^ k.offset, 0x85EBCA6Bu);
+  h = util::mix64(h ^ k.bytes, 0xC2B2AE35u);
+  return h;
+}
+
+Cache::Cache(CacheConfig config)
+    : config_(config),
+      free_(config.buffer_bytes),
+      buffer_(config.buffer_bytes),
+      slots_(std::max<std::size_t>(1, config.hash_slots), kEmpty) {
+  ATLC_CHECK(config_.probe_limit > 0, "probe_limit must be positive");
+}
+
+std::int32_t Cache::find(const Key& key) const {
+  const std::uint64_t base = key_hash(key);
+  for (std::size_t i = 0; i < config_.probe_limit; ++i) {
+    const std::size_t s = (base + i) % slots_.size();
+    const std::int32_t idx = slots_[s];
+    if (idx == kEmpty) return -1;
+    if (idx == kTombstone) continue;
+    if (pool_[idx].key == key) return idx;
+  }
+  return -1;
+}
+
+void Cache::lru_unlink(std::int32_t idx) {
+  Entry& e = pool_[idx];
+  if (e.lru_prev != -1)
+    pool_[e.lru_prev].lru_next = e.lru_next;
+  else
+    lru_head_ = e.lru_next;
+  if (e.lru_next != -1)
+    pool_[e.lru_next].lru_prev = e.lru_prev;
+  else
+    lru_tail_ = e.lru_prev;
+  e.lru_prev = e.lru_next = -1;
+}
+
+void Cache::lru_push_front(std::int32_t idx) {
+  Entry& e = pool_[idx];
+  e.lru_prev = -1;
+  e.lru_next = lru_head_;
+  if (lru_head_ != -1) pool_[lru_head_].lru_prev = idx;
+  lru_head_ = idx;
+  if (lru_tail_ == -1) lru_tail_ = idx;
+}
+
+void Cache::touch(std::int32_t idx) {
+  lru_unlink(idx);
+  lru_push_front(idx);
+  pool_[idx].last_tick = ++tick_;
+}
+
+bool Cache::lookup(const Key& key, void* dst) {
+  ++window_accesses_;
+  maybe_adapt();
+  const std::int32_t idx = find(key);
+  if (idx >= 0) {
+    const Entry& e = pool_[idx];
+    std::memcpy(dst, buffer_.data() + e.buf_offset, e.key.bytes);
+    touch(idx);
+    ++stats_.hits;
+    stats_.bytes_hit += e.key.bytes;
+    return true;
+  }
+  ++stats_.misses;
+  stats_.bytes_missed += key.bytes;
+  if (config_.classify_misses) classify_miss(key);
+  return false;
+}
+
+void Cache::classify_miss(const Key& key) {
+  const auto it = gone_.find(key_hash(key));
+  if (it == gone_.end()) {
+    ++stats_.compulsory_misses;
+    return;
+  }
+  switch (it->second) {
+    case GoneReason::EvictedSpace: ++stats_.capacity_misses; break;
+    case GoneReason::EvictedConflict: ++stats_.conflict_misses; break;
+    case GoneReason::Flushed: ++stats_.flush_misses; break;
+    case GoneReason::NeverStored: ++stats_.capacity_misses; break;
+  }
+}
+
+void Cache::note_gone(const Key& key, GoneReason reason) {
+  if (config_.classify_misses) gone_[key_hash(key)] = reason;
+}
+
+void Cache::evict(std::int32_t idx, GoneReason reason) {
+  Entry& e = pool_[idx];
+  ATLC_DCHECK(e.live, "evicting a dead entry");
+  note_gone(e.key, reason);
+  slots_[e.slot] = kTombstone;
+  free_.release(e.buf_offset, e.key.bytes);
+  live_by_offset_.erase(e.buf_offset);
+  lru_unlink(idx);
+  if (config_.policy == VictimPolicy::UserScore) {
+    auto [lo, hi] = by_score_.equal_range(e.user_score);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == idx) {
+        by_score_.erase(it);
+        break;
+      }
+    }
+  }
+  e.live = false;
+  pool_free_.push_back(idx);
+  --live_entries_;
+  if (reason == GoneReason::EvictedSpace) ++stats_.evictions_space;
+  if (reason == GoneReason::EvictedConflict) ++stats_.evictions_conflict;
+}
+
+std::int32_t Cache::lru_positional_pick(
+    const std::vector<std::int32_t>& candidates) {
+  // Paper / CLaMPI: "LRU weighted on a positional score to limit external
+  // fragmentation". Candidate i (0 = least recently used) has base weight i;
+  // the merge-benefit ratio of its surroundings subtracts up to half the
+  // window, so a perfectly-mergeable entry can be evicted ahead of up to
+  // window/2 colder entries.
+  std::int32_t best = -1;
+  double best_weight = 0.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Entry& e = pool_[candidates[i]];
+    const double benefit =
+        e.key.bytes > 0
+            ? std::min(2.0, static_cast<double>(free_.adjacent_free(
+                                e.buf_offset, e.key.bytes)) /
+                                static_cast<double>(e.key.bytes))
+            : 0.0;
+    const double weight = static_cast<double>(i) -
+                          benefit * static_cast<double>(candidates.size()) / 4.0;
+    if (best == -1 || weight < best_weight) {
+      best = candidates[i];
+      best_weight = weight;
+    }
+  }
+  return best;
+}
+
+std::int32_t Cache::pick_victim_global() {
+  if (live_entries_ == 0) return -1;
+  if (config_.policy == VictimPolicy::UserScore) {
+    ATLC_DCHECK(!by_score_.empty(), "score index out of sync");
+    return by_score_.begin()->second;  // lowest application score
+  }
+  std::vector<std::int32_t> candidates;
+  candidates.reserve(config_.lru_window);
+  for (std::int32_t it = lru_tail_;
+       it != -1 && candidates.size() < config_.lru_window;
+       it = pool_[it].lru_prev)
+    candidates.push_back(it);
+  return lru_positional_pick(candidates);
+}
+
+std::int32_t Cache::pick_victim_in_probe_window(std::uint64_t hash_base) {
+  std::vector<std::int32_t> candidates;
+  for (std::size_t i = 0; i < config_.probe_limit; ++i) {
+    const std::int32_t idx = slots_[(hash_base + i) % slots_.size()];
+    if (idx >= 0) candidates.push_back(idx);
+  }
+  if (candidates.empty()) return -1;
+  if (config_.policy == VictimPolicy::UserScore) {
+    return *std::min_element(candidates.begin(), candidates.end(),
+                             [&](std::int32_t a, std::int32_t b) {
+                               if (pool_[a].user_score != pool_[b].user_score)
+                                 return pool_[a].user_score <
+                                        pool_[b].user_score;
+                               return pool_[a].last_tick < pool_[b].last_tick;
+                             });
+  }
+  // Order candidates oldest-first so positional weighting applies as in the
+  // global case.
+  std::sort(candidates.begin(), candidates.end(),
+            [&](std::int32_t a, std::int32_t b) {
+              return pool_[a].last_tick < pool_[b].last_tick;
+            });
+  return lru_positional_pick(candidates);
+}
+
+bool Cache::make_room(std::uint64_t bytes, double incoming_score) {
+  // Phase 1: bounded cheapest-first single evictions (CLaMPI's score-ordered
+  // victim selection). Coalescing usually opens a fitting hole when the
+  // incoming entry is around the median entry size.
+  for (int k = 0; k < 16; ++k) {
+    const std::int32_t victim = pick_victim_global();
+    if (victim < 0) break;  // cache empty
+    if (config_.policy == VictimPolicy::UserScore &&
+        pool_[victim].user_score >= incoming_score) {
+      // The cheapest resident already outranks the newcomer, so every
+      // resident does: admission denied (paper Section III-B2 intent).
+      return false;
+    }
+    evict(victim, GoneReason::EvictedSpace);
+    if (free_.largest_free() >= bytes) return true;
+  }
+  if (live_entries_ == 0) return free_.largest_free() >= bytes;
+
+  // Phase 2: external fragmentation blocks the allocation although cheap
+  // entries exist (typical when a hub-sized adjacency list arrives over a
+  // buffer full of small entries). Clear the cheapest CONTIGUOUS run —
+  // the run-cost is the max entry score inside it, so a run containing a
+  // higher-ranked resident is never sacrificed for a lower-ranked newcomer
+  // (this is what keeps hub entries from thrashing each other).
+  struct Run {
+    std::vector<std::int32_t> victims;
+    double cost = 0.0;
+  };
+  std::optional<Run> best;
+  std::vector<std::uint64_t> starts;
+  starts.reserve(free_.num_regions() + 1);
+  starts.push_back(0);
+  for (const auto& [off, sz] : free_.regions_by_offset()) starts.push_back(off);
+
+  for (const std::uint64_t start : starts) {
+    std::uint64_t pos = start, span = 0;
+    Run run;
+    bool feasible = true;
+    while (span < bytes) {
+      if (pos >= free_.capacity()) {
+        feasible = false;
+        break;
+      }
+      if (const std::uint64_t fr = free_.region_at(pos)) {
+        span += fr;
+        pos += fr;
+        continue;
+      }
+      const auto it = live_by_offset_.find(pos);
+      ATLC_CHECK(it != live_by_offset_.end(), "cache buffer layout corrupted");
+      const Entry& e = pool_[it->second];
+      run.victims.push_back(it->second);
+      run.cost = std::max(run.cost, config_.policy == VictimPolicy::UserScore
+                                        ? e.user_score
+                                        : static_cast<double>(e.last_tick));
+      span += e.key.bytes;
+      pos += e.key.bytes;
+    }
+    if (feasible && (!best || run.cost < best->cost)) best = std::move(run);
+  }
+  if (!best) return false;
+  if (config_.policy == VictimPolicy::UserScore && best->cost >= incoming_score)
+    return false;
+  for (const std::int32_t v : best->victims) evict(v, GoneReason::EvictedSpace);
+  return free_.largest_free() >= bytes;
+}
+
+bool Cache::insert(const Key& key, const void* data, double user_score) {
+  if (key.bytes == 0 || key.bytes > config_.buffer_bytes) {
+    // Zero-byte payloads carry no data worth caching (and would corrupt
+    // the buffer-layout tiling); oversized ones cannot fit.
+    ++stats_.insert_failures;
+    note_gone(key, GoneReason::NeverStored);
+    return false;
+  }
+  ATLC_DCHECK(find(key) < 0, "insert of an already-cached key");
+
+  // 1) Claim a hash slot (may require a conflict eviction).
+  const std::uint64_t base = key_hash(key);
+  std::int32_t slot = -1;
+  for (std::size_t i = 0; i < config_.probe_limit; ++i) {
+    const std::size_t s = (base + i) % slots_.size();
+    if (slots_[s] == kEmpty || slots_[s] == kTombstone) {
+      slot = static_cast<std::int32_t>(s);
+      break;
+    }
+  }
+  if (slot == -1) {
+    ++window_conflicts_;
+    const std::int32_t victim = pick_victim_in_probe_window(base);
+    ATLC_DCHECK(victim >= 0, "full probe window with no live entry");
+    // Admission gate (paper Section III-B2): under application scores, a
+    // lower-scored entry must not displace a higher-scored resident —
+    // otherwise every miss cycles the cache and hubs never stay resident.
+    if (config_.policy == VictimPolicy::UserScore &&
+        pool_[victim].user_score >= user_score) {
+      ++stats_.admission_rejects;
+      note_gone(key, GoneReason::NeverStored);
+      return false;
+    }
+    slot = static_cast<std::int32_t>(pool_[victim].slot);
+    evict(victim, GoneReason::EvictedConflict);
+  }
+
+  // 2) Claim buffer space (may require capacity evictions).
+  std::optional<std::uint64_t> buf_off = free_.allocate(key.bytes);
+  if (!buf_off) {
+    // (Any victims evicted below cannot occupy the slot claimed above: we
+    // claimed an empty/tombstone slot and evict() only tombstones live
+    // slots.)
+    if (!make_room(key.bytes, user_score)) {
+      ++stats_.admission_rejects;
+      note_gone(key, GoneReason::NeverStored);
+      return false;
+    }
+    buf_off = free_.allocate(key.bytes);
+    ATLC_CHECK(buf_off.has_value(), "make_room must enable the allocation");
+  }
+
+  // 3) Materialise the entry.
+  std::memcpy(buffer_.data() + *buf_off, data, key.bytes);
+  std::int32_t idx;
+  if (!pool_free_.empty()) {
+    idx = pool_free_.back();
+    pool_free_.pop_back();
+  } else {
+    idx = static_cast<std::int32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  Entry& e = pool_[idx];
+  e.key = key;
+  e.buf_offset = *buf_off;
+  e.last_tick = ++tick_;
+  e.user_score = user_score;
+  e.slot = static_cast<std::uint32_t>(slot);
+  e.live = true;
+  slots_[slot] = idx;
+  live_by_offset_.emplace(*buf_off, idx);
+  lru_push_front(idx);
+  if (config_.policy == VictimPolicy::UserScore)
+    by_score_.emplace(user_score, idx);
+  ++live_entries_;
+  if (config_.classify_misses) gone_.erase(key_hash(key));
+  return true;
+}
+
+void Cache::flush() {
+  for (std::int32_t it = lru_head_; it != -1; it = pool_[it].lru_next)
+    note_gone(pool_[it].key, GoneReason::Flushed);
+  pool_.clear();
+  pool_free_.clear();
+  std::fill(slots_.begin(), slots_.end(), kEmpty);
+  by_score_.clear();
+  live_by_offset_.clear();
+  free_.reset();
+  live_entries_ = 0;
+  lru_head_ = lru_tail_ = -1;
+  ++stats_.flushes;
+}
+
+void Cache::epoch_close() {
+  if (config_.mode == Mode::Transparent) flush();
+}
+
+void Cache::maybe_adapt() {
+  if (!config_.adaptive || window_accesses_ < config_.adaptive_interval)
+    return;
+  const double conflict_rate = static_cast<double>(window_conflicts_) /
+                               static_cast<double>(window_accesses_);
+  window_accesses_ = 0;
+  window_conflicts_ = 0;
+  if (conflict_rate > config_.adaptive_conflict_threshold &&
+      slots_.size() * 2 <= config_.max_hash_slots) {
+    // CLaMPI's adaptive strategy: resize the hash table and FLUSH (paper
+    // Section III-B1 — this is why good initial sizes matter).
+    flush();
+    slots_.assign(slots_.size() * 2, kEmpty);
+    ++stats_.hash_resizes;
+  }
+}
+
+std::vector<EntryInfo> Cache::entries() const {
+  std::vector<EntryInfo> out;
+  out.reserve(live_entries_);
+  for (std::int32_t it = lru_head_; it != -1; it = pool_[it].lru_next)
+    out.push_back({pool_[it].key, pool_[it].user_score, pool_[it].last_tick});
+  return out;
+}
+
+std::size_t Cache::suggest_hash_slots_fixed(std::uint64_t cache_bytes,
+                                            std::uint64_t entry_bytes) {
+  if (entry_bytes == 0) return 1;
+  return std::max<std::size_t>(16, cache_bytes / entry_bytes);
+}
+
+std::size_t Cache::suggest_hash_slots_power_law(std::uint64_t num_vertices,
+                                                double cache_fraction,
+                                                double alpha) {
+  const double expected = static_cast<double>(num_vertices) *
+                          std::pow(std::clamp(cache_fraction, 0.0, 1.0), alpha);
+  return std::max<std::size_t>(16, static_cast<std::size_t>(expected));
+}
+
+}  // namespace atlc::clampi

@@ -1,0 +1,99 @@
+#include "atlc/clampi/free_space.hpp"
+
+#include "atlc/util/check.hpp"
+
+namespace atlc::clampi {
+
+FreeSpace::FreeSpace(std::uint64_t capacity)
+    : capacity_(capacity), total_free_(capacity) {
+  if (capacity > 0) insert_region(0, capacity);
+}
+
+void FreeSpace::insert_region(std::uint64_t offset, std::uint64_t bytes) {
+  by_offset_.emplace(offset, bytes);
+  by_size_.emplace(bytes, offset);
+}
+
+void FreeSpace::erase_region(
+    std::map<std::uint64_t, std::uint64_t>::iterator it) {
+  auto [size_lo, size_hi] = by_size_.equal_range(it->second);
+  for (auto s = size_lo; s != size_hi; ++s) {
+    if (s->second == it->first) {
+      by_size_.erase(s);
+      break;
+    }
+  }
+  by_offset_.erase(it);
+}
+
+std::optional<std::uint64_t> FreeSpace::allocate(std::uint64_t bytes) {
+  if (bytes == 0) return 0;
+  auto fit = by_size_.lower_bound(bytes);  // best fit: smallest region >= bytes
+  if (fit == by_size_.end()) return std::nullopt;
+  const std::uint64_t region_size = fit->first;
+  const std::uint64_t region_off = fit->second;
+  by_size_.erase(fit);
+  by_offset_.erase(region_off);
+  if (region_size > bytes)
+    insert_region(region_off + bytes, region_size - bytes);
+  total_free_ -= bytes;
+  return region_off;
+}
+
+void FreeSpace::release(std::uint64_t offset, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  ATLC_CHECK(offset + bytes <= capacity_, "release beyond capacity");
+  std::uint64_t lo = offset, hi = offset + bytes;
+
+  // Coalesce with the following region.
+  auto next = by_offset_.lower_bound(offset);
+  if (next != by_offset_.end() && next->first == hi) {
+    hi += next->second;
+    erase_region(next);
+  }
+  // Coalesce with the preceding region.
+  auto prev = by_offset_.lower_bound(offset);
+  if (prev != by_offset_.begin()) {
+    --prev;
+    ATLC_CHECK(prev->first + prev->second <= offset, "double free detected");
+    if (prev->first + prev->second == offset) {
+      lo = prev->first;
+      erase_region(prev);
+    }
+  }
+  insert_region(lo, hi - lo);
+  total_free_ += bytes;
+}
+
+std::uint64_t FreeSpace::largest_free() const {
+  return by_size_.empty() ? 0 : by_size_.rbegin()->first;
+}
+
+std::uint64_t FreeSpace::adjacent_free(std::uint64_t offset,
+                                       std::uint64_t bytes) const {
+  std::uint64_t adj = 0;
+  auto next = by_offset_.lower_bound(offset + bytes);
+  if (next != by_offset_.end() && next->first == offset + bytes)
+    adj += next->second;
+  auto prev = by_offset_.lower_bound(offset);
+  if (prev != by_offset_.begin()) {
+    --prev;
+    if (prev->first + prev->second == offset) adj += prev->second;
+  }
+  return adj;
+}
+
+double FreeSpace::fragmentation() const {
+  if (total_free_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free()) /
+                   static_cast<double>(total_free_);
+}
+
+void FreeSpace::reset() {
+  by_offset_.clear();
+  by_size_.clear();
+  total_free_ = capacity_;
+  if (capacity_ > 0) insert_region(0, capacity_);
+}
+
+}  // namespace atlc::clampi

@@ -1,0 +1,34 @@
+#include "atlc/core/dist_graph.hpp"
+
+#include "atlc/util/check.hpp"
+
+namespace atlc::core {
+
+DistGraph build_dist_graph(rma::RankCtx& ctx, const CSRGraph& global,
+                           const Partition& partition) {
+  ATLC_CHECK(partition.num_ranks() == ctx.num_ranks(),
+             "partition rank count must match runtime");
+  ATLC_CHECK(partition.num_vertices() == global.num_vertices(),
+             "partition vertex count must match graph");
+
+  DistGraph dg{partition};
+  dg.directedness = global.directedness();
+
+  const VertexId n_local = partition.part_size(ctx.rank());
+  dg.offsets.reserve(static_cast<std::size_t>(n_local) + 1);
+  dg.offsets.push_back(0);
+  for (VertexId lv = 0; lv < n_local; ++lv) {
+    const VertexId v = partition.global_id(ctx.rank(), lv);
+    const auto nbrs = global.neighbors(v);
+    dg.adjacencies.insert(dg.adjacencies.end(), nbrs.begin(), nbrs.end());
+    dg.offsets.push_back(dg.adjacencies.size());
+  }
+
+  // Windows must be created after the vectors reached their final size —
+  // the runtime captures raw spans (like MPI_Win_create pins a buffer).
+  dg.w_offsets = ctx.create_window<EdgeIndex>(dg.offsets);
+  dg.w_adj = ctx.create_window<VertexId>(dg.adjacencies);
+  return dg;
+}
+
+}  // namespace atlc::core

@@ -1,0 +1,137 @@
+#include "atlc/core/fetcher.hpp"
+
+#include "atlc/util/check.hpp"
+
+namespace atlc::core {
+
+namespace {
+
+clampi::CacheConfig offsets_cache_config(const EngineConfig& cfg) {
+  clampi::CacheConfig c;
+  c.buffer_bytes = cfg.cache_sizing.offsets_bytes;
+  // C_offsets entries are fixed-size (start,end) pairs (paper Obs. 3.2).
+  c.hash_slots =
+      cfg.cache_sizing.offsets_slots
+          ? cfg.cache_sizing.offsets_slots
+          : clampi::Cache::suggest_hash_slots_fixed(c.buffer_bytes,
+                                                    2 * sizeof(EdgeIndex));
+  c.mode = clampi::Mode::AlwaysCache;  // graph is immutable during compute
+  c.policy = clampi::VictimPolicy::LruPositional;
+  c.adaptive = cfg.cache_adaptive;
+  return c;
+}
+
+clampi::CacheConfig adj_cache_config(const EngineConfig& cfg,
+                                     const DistGraph& dg) {
+  clampi::CacheConfig c;
+  c.buffer_bytes = cfg.cache_sizing.adj_bytes;
+  if (cfg.cache_sizing.adj_slots) {
+    c.hash_slots = cfg.cache_sizing.adj_slots;
+  } else {
+    // Paper Section III-B1: under a power-law degree distribution, a cache
+    // holding fraction f of the graph holds ~ n * f^2 entries. Estimate the
+    // total adjacency volume from this rank's slice (1D parts are
+    // approximately equal in vertices, roughly so in edges).
+    const double total_adj_bytes =
+        static_cast<double>(dg.adjacencies.size()) * sizeof(VertexId) *
+        static_cast<double>(dg.partition.num_ranks());
+    const double fraction =
+        total_adj_bytes > 0
+            ? static_cast<double>(c.buffer_bytes) / total_adj_bytes
+            : 1.0;
+    const std::size_t heuristic = clampi::Cache::suggest_hash_slots_power_law(
+        dg.partition.num_vertices(), fraction);
+    // Floor at 4x the buffer's entry capacity (slots cost 4 bytes each;
+    // conflict evictions cost residency). This is what CLaMPI's adaptive
+    // resizing converges to — starting there skips its flush-on-resize.
+    const double avg_entry_bytes =
+        dg.num_local() > 0
+            ? std::max(8.0, static_cast<double>(dg.adjacencies.size()) *
+                                sizeof(VertexId) /
+                                static_cast<double>(dg.num_local()))
+            : 64.0;
+    const auto capacity_entries = static_cast<std::size_t>(
+        static_cast<double>(c.buffer_bytes) / avg_entry_bytes);
+    c.hash_slots = std::max(heuristic, 4 * std::max<std::size_t>(
+                                               16, capacity_entries));
+  }
+  c.mode = clampi::Mode::AlwaysCache;
+  c.policy = cfg.victim_policy;
+  c.adaptive = cfg.cache_adaptive;
+  return c;
+}
+
+}  // namespace
+
+AdjacencyFetcher::AdjacencyFetcher(rma::RankCtx& ctx, const DistGraph& dg,
+                                   const EngineConfig& config)
+    : ctx_(&ctx), dg_(&dg), config_(&config) {
+  if (config.use_cache && config.cache_offsets)
+    c_offsets_.emplace(ctx, dg.w_offsets, offsets_cache_config(config));
+  if (config.use_cache && config.cache_adj)
+    c_adj_.emplace(ctx, dg.w_adj, adj_cache_config(config, dg));
+  if (config.track_remote_reads)
+    remote_reads_.assign(dg.partition.num_vertices(), 0);
+}
+
+AdjacencyFetcher::Token AdjacencyFetcher::begin(VertexId v) {
+  const auto owner = dg_->partition.owner(v);
+  const VertexId lv = dg_->partition.local_index(v);
+
+  Token t;
+  if (owner == ctx_->rank()) {
+    t.local = true;
+    t.local_span = dg_->local_neighbors(lv);
+    t.degree = static_cast<VertexId>(t.local_span.size());
+    return t;
+  }
+
+  ++remote_fetches_;
+  if (!remote_reads_.empty()) ++remote_reads_[v];
+
+  // Step 1 (synchronous): (start, end) of the adjacency list. "The first
+  // MPI_Get reads the offset of the adjacency list" (paper Fig. 3 step 4).
+  EdgeIndex span[2];
+  if (c_offsets_) {
+    c_offsets_->get(owner, lv, 2, span);
+  } else {
+    ctx_->flush(dg_->w_offsets.get(owner, lv, 2, span));
+  }
+  ATLC_CHECK(span[1] >= span[0], "corrupt remote offsets");
+  t.count = span[1] - span[0];
+  t.degree = static_cast<VertexId>(t.count);
+  if (t.count == 0) {
+    // Out-degree-0 vertices exist in directed graphs (they survive
+    // cleaning via their in-degree); there is no adjacency to transfer.
+    t.local = true;
+    t.local_span = {};
+    return t;
+  }
+
+  // Step 2 (overlappable): the adjacency list itself. The out-degree just
+  // learned becomes the application-defined eviction score (Section III-B2).
+  t.slot = next_slot_;
+  next_slot_ ^= 1;
+  auto& buf = buffers_[t.slot];
+  buf.resize(t.count);
+  if (c_adj_) {
+    t.cached = true;
+    t.pending = c_adj_->begin_get(owner, span[0], t.count, buf.data(),
+                                  static_cast<double>(t.degree));
+  } else {
+    t.handle = dg_->w_adj.get(owner, span[0], t.count, buf.data());
+  }
+  return t;
+}
+
+std::span<const VertexId> AdjacencyFetcher::finish(const Token& t) {
+  if (t.local) return t.local_span;
+  if (t.cached) {
+    c_adj_->finish(t.pending);
+  } else {
+    ctx_->flush(t.handle);
+  }
+  return {buffers_[t.slot].data(), t.count};
+}
+
+}  // namespace atlc::core

@@ -1,0 +1,68 @@
+#include "atlc/graph/csr.hpp"
+
+#include <algorithm>
+
+#include "atlc/util/check.hpp"
+
+namespace atlc::graph {
+
+CSRGraph CSRGraph::from_edges(const EdgeList& edges) {
+  CSRGraph g;
+  const VertexId n = edges.num_vertices();
+  g.dir_ = edges.directedness();
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  for (const Edge& e : edges.edges()) {
+    ATLC_CHECK(e.u < n && e.v < n, "edge endpoint out of range");
+    ++g.offsets_[e.u + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i)
+    g.offsets_[i] += g.offsets_[i - 1];
+
+  g.adjacencies_.resize(g.offsets_.back());
+  std::vector<EdgeIndex> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges.edges()) g.adjacencies_[cursor[e.u]++] = e.v;
+
+  for (VertexId v = 0; v < n; ++v)
+    std::sort(g.adjacencies_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adjacencies_.begin() +
+                  static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+  return g;
+}
+
+CSRGraph CSRGraph::from_raw(VertexId num_vertices,
+                            std::vector<EdgeIndex> offsets,
+                            std::vector<VertexId> adjacencies,
+                            Directedness directedness) {
+  ATLC_CHECK(offsets.size() == static_cast<std::size_t>(num_vertices) + 1,
+             "offsets must have n+1 entries");
+  ATLC_CHECK(offsets.back() == adjacencies.size(),
+             "last offset must equal adjacency count");
+  CSRGraph g;
+  g.offsets_ = std::move(offsets);
+  g.adjacencies_ = std::move(adjacencies);
+  g.dir_ = directedness;
+  return g;
+}
+
+bool CSRGraph::has_edge(VertexId u, VertexId v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<VertexId> CSRGraph::in_degrees() const {
+  std::vector<VertexId> in(num_vertices(), 0);
+  for (VertexId v : adjacencies_) ++in[v];
+  return in;
+}
+
+bool CSRGraph::adjacency_sorted_unique() const {
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    const auto nbrs = neighbors(v);
+    for (std::size_t i = 1; i < nbrs.size(); ++i)
+      if (nbrs[i - 1] >= nbrs[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace atlc::graph

@@ -1,0 +1,33 @@
+#include "atlc/graph/edge_list.hpp"
+
+#include <algorithm>
+
+namespace atlc::graph {
+
+void EdgeList::sort_and_dedup() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+}
+
+void EdgeList::remove_self_loops() {
+  std::erase_if(edges_, [](const Edge& e) { return e.u == e.v; });
+}
+
+void EdgeList::symmetrize() {
+  if (dir_ == Directedness::Directed) return;
+  const std::size_t original = edges_.size();
+  edges_.reserve(original * 2);
+  for (std::size_t i = 0; i < original; ++i)
+    edges_.push_back({edges_[i].v, edges_[i].u});
+  sort_and_dedup();
+}
+
+bool EdgeList::is_symmetric() const {
+  for (const Edge& e : edges_) {
+    if (!std::binary_search(edges_.begin(), edges_.end(), Edge{e.v, e.u}))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace atlc::graph

@@ -1,0 +1,146 @@
+#include "atlc/graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "atlc/util/check.hpp"
+#include "atlc/util/rng.hpp"
+
+namespace atlc::graph {
+
+EdgeList generate_rmat(const RmatParams& p) {
+  ATLC_CHECK(p.scale > 0 && p.scale < 32, "rmat scale must be in (0,32)");
+  const double sum = p.a + p.b + p.c + p.d;
+  ATLC_CHECK(std::abs(sum - 1.0) < 1e-9, "rmat probabilities must sum to 1");
+
+  const VertexId n = VertexId{1} << p.scale;
+  const std::uint64_t target_edges =
+      static_cast<std::uint64_t>(p.edge_factor) << p.scale;
+
+  util::Xoshiro256 rng(p.seed);
+  std::vector<Edge> edges;
+  edges.reserve(target_edges);
+
+  for (std::uint64_t i = 0; i < target_edges; ++i) {
+    VertexId u = 0, v = 0;
+    double a = p.a, b = p.b, c = p.c, d = p.d;
+    for (unsigned level = 0; level < p.scale; ++level) {
+      const double r = rng.next_double();
+      // Choose the quadrant: (0,0)=a, (0,1)=b, (1,0)=c, (1,1)=d.
+      unsigned du = 0, dv = 0;
+      if (r < a) {
+        du = 0; dv = 0;
+      } else if (r < a + b) {
+        du = 0; dv = 1;
+      } else if (r < a + b + c) {
+        du = 1; dv = 0;
+      } else {
+        du = 1; dv = 1;
+      }
+      u = (u << 1) | du;
+      v = (v << 1) | dv;
+      if (p.noise) {
+        // +/-5% multiplicative perturbation, renormalised.
+        auto perturb = [&](double x) {
+          return x * (0.95 + 0.1 * rng.next_double());
+        };
+        a = perturb(a); b = perturb(b); c = perturb(c); d = perturb(d);
+        const double s = a + b + c + d;
+        a /= s; b /= s; c /= s; d /= s;
+      }
+    }
+    edges.push_back({u, v});
+  }
+
+  EdgeList out(n, std::move(edges), p.directedness);
+  if (p.directedness == Directedness::Undirected) out.symmetrize();
+  return out;
+}
+
+EdgeList generate_uniform(const UniformParams& p) {
+  ATLC_CHECK(p.num_vertices >= 2, "uniform generator needs >= 2 vertices");
+  util::Xoshiro256 rng(p.seed);
+  std::vector<Edge> edges;
+  edges.reserve(p.num_edges);
+  for (std::uint64_t i = 0; i < p.num_edges; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(p.num_vertices));
+    const auto v = static_cast<VertexId>(rng.next_below(p.num_vertices));
+    edges.push_back({u, v});
+  }
+  EdgeList out(p.num_vertices, std::move(edges), p.directedness);
+  if (p.directedness == Directedness::Undirected) out.symmetrize();
+  return out;
+}
+
+EdgeList generate_circles(const CirclesParams& p) {
+  ATLC_CHECK(p.num_vertices >= 16, "circles generator needs >= 16 vertices");
+  util::Xoshiro256 rng(p.seed);
+  std::vector<Edge> edges;
+
+  // Draw power-law circle sizes (discrete Pareto, bounded by n/4) until all
+  // vertices are covered; circles overlap slightly by construction since
+  // membership is assigned by contiguous blocks with random stride-back.
+  const double xmin = 4.0;
+  VertexId covered = 0;
+  std::vector<std::pair<VertexId, VertexId>> circles;  // [first, last)
+  while (covered < p.num_vertices) {
+    const double u = rng.next_double();
+    auto size = static_cast<VertexId>(
+        xmin * std::pow(1.0 - u, -1.0 / (p.circle_size_alpha - 1.0)));
+    // Clamp the tail: real ego-network circles rarely exceed a few times
+    // the typical size; unclamped Pareto draws would dominate the edge
+    // count with a single giant clique.
+    const auto max_size = static_cast<VertexId>(
+        std::min<double>(4.0 * p.avg_circle_size,
+                         static_cast<double>(p.num_vertices) / 4.0));
+    size = std::clamp<VertexId>(size, 4, std::max<VertexId>(8, max_size));
+    // Overlap: start a little before the previous end so circles share
+    // members, like real ego-network circles.
+    const VertexId overlap = static_cast<VertexId>(rng.next_below(3));
+    const VertexId first = covered >= overlap ? covered - overlap : 0;
+    const VertexId last =
+        std::min<VertexId>(first + size, p.num_vertices);
+    circles.emplace_back(first, last);
+    covered = last;
+  }
+
+  auto add_undirected = [&](VertexId a, VertexId b) {
+    if (a == b) return;
+    edges.push_back({a, b});
+    edges.push_back({b, a});
+  };
+
+  // Dense intra-circle edges.
+  for (auto [first, last] : circles) {
+    for (VertexId i = first; i < last; ++i)
+      for (VertexId j = i + 1; j < last; ++j)
+        if (rng.next_bool(p.p_intra)) add_undirected(i, j);
+  }
+
+  // Hub vertices join many circles: connect each hub to a sample of members
+  // of `circles_per_hub` random circles. Hubs create the heavy tail.
+  for (unsigned h = 0; h < p.hubs; ++h) {
+    const auto hub = static_cast<VertexId>(rng.next_below(p.num_vertices));
+    for (unsigned c = 0; c < p.circles_per_hub; ++c) {
+      const auto& circle = circles[rng.next_below(circles.size())];
+      const VertexId span = circle.second - circle.first;
+      // Connect to roughly half the members of the circle.
+      for (VertexId k = 0; k < span; ++k)
+        if (rng.next_bool(0.5))
+          add_undirected(hub, circle.first + k);
+    }
+  }
+
+  // Rewire a fraction of endpoints to random vertices (weak ties).
+  for (Edge& e : edges)
+    if (rng.next_bool(p.p_rewire))
+      e.v = static_cast<VertexId>(rng.next_below(p.num_vertices));
+
+  EdgeList out(p.num_vertices, std::move(edges), Directedness::Undirected);
+  out.remove_self_loops();
+  out.symmetrize();
+  return out;
+}
+
+}  // namespace atlc::graph

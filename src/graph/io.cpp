@@ -1,0 +1,96 @@
+#include "atlc/graph/io.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace atlc::graph {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x41544c43;  // "ATLC"
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+File open_or_throw(const std::string& path, const char* mode) {
+  File f(std::fopen(path.c_str(), mode));
+  if (!f) throw std::runtime_error("cannot open file: " + path);
+  return f;
+}
+
+}  // namespace
+
+EdgeList load_text_edges(const std::string& path, Directedness directedness) {
+  File f = open_or_throw(path, "r");
+  std::unordered_map<std::uint64_t, VertexId> remap;
+  std::vector<Edge> edges;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f.get())) {
+    if (line[0] == '#' || line[0] == '%' || line[0] == '\n') continue;
+    std::uint64_t a = 0, b = 0;
+    if (std::sscanf(line, "%llu %llu", (unsigned long long*)&a,
+                    (unsigned long long*)&b) != 2)
+      continue;
+    auto intern = [&](std::uint64_t raw) {
+      auto [it, inserted] =
+          remap.try_emplace(raw, static_cast<VertexId>(remap.size()));
+      return it->second;
+    };
+    edges.push_back({intern(a), intern(b)});
+  }
+  EdgeList out(static_cast<VertexId>(remap.size()), std::move(edges),
+               directedness);
+  if (directedness == Directedness::Undirected) out.symmetrize();
+  return out;
+}
+
+void save_text_edges(const EdgeList& edges, const std::string& path) {
+  File f = open_or_throw(path, "w");
+  std::fprintf(f.get(), "# atlc edge list: %u vertices, %zu edges\n",
+               edges.num_vertices(), edges.num_edges());
+  for (const Edge& e : edges.edges())
+    std::fprintf(f.get(), "%u %u\n", e.u, e.v);
+}
+
+void save_binary_edges(const EdgeList& edges, const std::string& path) {
+  File f = open_or_throw(path, "wb");
+  const std::uint32_t header[4] = {
+      kMagic, kVersion,
+      edges.directedness() == Directedness::Directed ? 1u : 0u,
+      edges.num_vertices()};
+  const auto m = static_cast<std::uint64_t>(edges.num_edges());
+  if (std::fwrite(header, sizeof(header), 1, f.get()) != 1 ||
+      std::fwrite(&m, sizeof(m), 1, f.get()) != 1)
+    throw std::runtime_error("short write: " + path);
+  if (m > 0 &&
+      std::fwrite(edges.edges().data(), sizeof(Edge), m, f.get()) != m)
+    throw std::runtime_error("short write: " + path);
+}
+
+EdgeList load_binary_edges(const std::string& path) {
+  File f = open_or_throw(path, "rb");
+  std::uint32_t header[4];
+  std::uint64_t m = 0;
+  if (std::fread(header, sizeof(header), 1, f.get()) != 1 ||
+      std::fread(&m, sizeof(m), 1, f.get()) != 1)
+    throw std::runtime_error("short read: " + path);
+  if (header[0] != kMagic || header[1] != kVersion)
+    throw std::runtime_error("bad magic/version: " + path);
+  std::vector<Edge> edges(m);
+  if (m > 0 && std::fread(edges.data(), sizeof(Edge), m, f.get()) != m)
+    throw std::runtime_error("short read: " + path);
+  return EdgeList(header[3], std::move(edges),
+                  header[2] ? Directedness::Directed
+                            : Directedness::Undirected);
+}
+
+}  // namespace atlc::graph

@@ -1,0 +1,64 @@
+#include "atlc/intersect/cost_model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <vector>
+
+#include "atlc/util/timer.hpp"
+
+namespace atlc::intersect {
+
+double CostModel::seconds(Method m, std::size_t len_a,
+                          std::size_t len_b) const {
+  if (len_a > len_b) std::swap(len_a, len_b);
+  const bool use_ssi =
+      m == Method::SSI || (m == Method::Hybrid && prefer_ssi(len_a, len_b));
+  double work_ns;
+  if (use_ssi) {
+    work_ns = ssi_ns_per_elem * static_cast<double>(len_a + len_b);
+  } else {
+    const double log_b =
+        len_b > 1 ? static_cast<double>(std::bit_width(len_b)) : 1.0;
+    work_ns = binary_ns_per_probe * static_cast<double>(len_a) * log_b;
+  }
+  return (per_call_ns + work_ns) * 1e-9;
+}
+
+double CostModel::seconds_probes(std::size_t keys, std::size_t tree) const {
+  const double log_t =
+      tree > 1 ? static_cast<double>(std::bit_width(tree)) : 1.0;
+  return (per_call_ns +
+          binary_ns_per_probe * static_cast<double>(keys) * log_t) *
+         1e-9;
+}
+
+CostModel CostModel::calibrate() {
+  CostModel m;
+
+  // Two disjoint-ish sorted arrays with a realistic hit fraction.
+  constexpr std::size_t kA = 2048, kB = 16384, kReps = 200;
+  std::vector<VertexId> a(kA), b(kB);
+  for (std::size_t i = 0; i < kA; ++i) a[i] = static_cast<VertexId>(3 * i);
+  for (std::size_t i = 0; i < kB; ++i) b[i] = static_cast<VertexId>(2 * i);
+
+  volatile std::uint64_t sink = 0;  // defeat dead-code elimination
+
+  util::Timer t;
+  for (std::size_t r = 0; r < kReps; ++r) sink += count_ssi(a, b);
+  const double ssi_s = t.elapsed_s();
+  m.ssi_ns_per_elem =
+      std::max(0.05, ssi_s * 1e9 / (kReps * static_cast<double>(kA + kB)));
+
+  t.reset();
+  for (std::size_t r = 0; r < kReps; ++r) sink += count_binary(a, b);
+  const double bin_s = t.elapsed_s();
+  const double log_b = static_cast<double>(std::bit_width(kB));
+  m.binary_ns_per_probe =
+      std::max(0.05, bin_s * 1e9 / (kReps * static_cast<double>(kA) * log_b));
+
+  (void)sink;
+  return m;
+}
+
+}  // namespace atlc::intersect

@@ -1,0 +1,89 @@
+#include "atlc/intersect/parallel.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+
+namespace atlc::intersect {
+
+namespace {
+
+/// Split [0, n) into `parts` nearly-equal chunks; returns [begin, end) of
+/// chunk `idx`.
+std::pair<std::size_t, std::size_t> chunk(std::size_t n, int parts, int idx) {
+  const std::size_t base = n / static_cast<std::size_t>(parts);
+  const std::size_t extra = n % static_cast<std::size_t>(parts);
+  const auto i = static_cast<std::size_t>(idx);
+  const std::size_t begin = i * base + std::min(i, extra);
+  const std::size_t end = begin + base + (i < extra ? 1 : 0);
+  return {begin, end};
+}
+
+}  // namespace
+
+std::uint64_t count_binary_parallel(std::span<const VertexId> a,
+                                    std::span<const VertexId> b,
+                                    const ParallelConfig& cfg) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.size() + b.size() < cfg.cutoff) return count_binary(a, b);
+
+  std::uint64_t total = 0;
+  // Chunk the shorter (keys) array across threads; each thread searches its
+  // keys in the full longer list.
+#pragma omp parallel num_threads(cfg.num_threads > 0 ? cfg.num_threads \
+                                                     : omp_get_max_threads()) \
+    reduction(+ : total)
+  {
+    const auto [begin, end] =
+        chunk(a.size(), omp_get_num_threads(), omp_get_thread_num());
+    for (std::size_t i = begin; i < end; ++i)
+      if (std::binary_search(b.begin(), b.end(), a[i])) ++total;
+  }
+  return total;
+}
+
+std::uint64_t count_ssi_parallel(std::span<const VertexId> a,
+                                 std::span<const VertexId> b,
+                                 const ParallelConfig& cfg) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.size() + b.size() < cfg.cutoff) return count_ssi(a, b);
+
+  std::uint64_t total = 0;
+  // Chunk the longer array; every thread SSI-merges its chunk against the
+  // subrange of the shorter list that can overlap it (narrowed by binary
+  // search on the chunk's value range).
+#pragma omp parallel num_threads(cfg.num_threads > 0 ? cfg.num_threads \
+                                                     : omp_get_max_threads()) \
+    reduction(+ : total)
+  {
+    const auto [begin, end] =
+        chunk(b.size(), omp_get_num_threads(), omp_get_thread_num());
+    if (begin < end) {
+      const auto b_chunk = b.subspan(begin, end - begin);
+      const auto lo = std::lower_bound(a.begin(), a.end(), b_chunk.front());
+      const auto hi = std::upper_bound(lo, a.end(), b_chunk.back());
+      total += count_ssi({&*lo, static_cast<std::size_t>(hi - lo)}, b_chunk);
+    }
+  }
+  return total;
+}
+
+std::uint64_t count_hybrid_parallel(std::span<const VertexId> a,
+                                    std::span<const VertexId> b,
+                                    const ParallelConfig& cfg) {
+  return prefer_ssi(a.size(), b.size()) ? count_ssi_parallel(a, b, cfg)
+                                        : count_binary_parallel(a, b, cfg);
+}
+
+std::uint64_t count_common_parallel(std::span<const VertexId> a,
+                                    std::span<const VertexId> b, Method m,
+                                    const ParallelConfig& cfg) {
+  switch (m) {
+    case Method::Binary: return count_binary_parallel(a, b, cfg);
+    case Method::SSI: return count_ssi_parallel(a, b, cfg);
+    case Method::Hybrid: return count_hybrid_parallel(a, b, cfg);
+  }
+  return 0;
+}
+
+}  // namespace atlc::intersect

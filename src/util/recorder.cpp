@@ -1,0 +1,24 @@
+#include "atlc/util/recorder.hpp"
+
+#include "atlc/util/timer.hpp"
+
+namespace atlc::util {
+
+Summary Recorder::run_until_ci(const std::function<void()>& fn) {
+  samples_.clear();
+  for (std::size_t i = 0; i < opts_.warmup_reps; ++i) fn();
+  while (samples_.size() < opts_.max_reps) {
+    Timer t;
+    fn();
+    samples_.push_back(t.elapsed_s());
+    if (samples_.size() >= opts_.min_reps && converged()) break;
+  }
+  return summarize(samples_);
+}
+
+bool Recorder::converged() const {
+  if (samples_.size() < opts_.min_reps) return false;
+  return summarize(samples_).ci_within_fraction_of_median(opts_.ci_fraction);
+}
+
+}  // namespace atlc::util

@@ -1,0 +1,108 @@
+#include "atlc/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+
+namespace atlc::util {
+
+namespace {
+
+/// Median of an already-sorted sample.
+double sorted_median(std::span<const double> s) {
+  const std::size_t n = s.size();
+  if (n % 2 == 1) return s[n / 2];
+  return 0.5 * (s[n / 2 - 1] + s[n / 2]);
+}
+
+}  // namespace
+
+bool Summary::ci_within_fraction_of_median(double fraction) const {
+  if (median == 0.0) return ci95_hi - ci95_lo == 0.0;
+  const double tol = std::abs(median) * fraction;
+  return (median - ci95_lo) <= tol && (ci95_hi - median) <= tol;
+}
+
+double median(std::span<const double> sample) {
+  if (sample.empty()) throw std::invalid_argument("median: empty sample");
+  std::vector<double> s(sample.begin(), sample.end());
+  std::sort(s.begin(), s.end());
+  return sorted_median(s);
+}
+
+double percentile(std::span<const double> sample, double p) {
+  if (sample.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument("percentile: p out of [0,100]");
+  std::vector<double> s(sample.begin(), sample.end());
+  std::sort(s.begin(), s.end());
+  if (s.size() == 1) return s[0];
+  const double rank = p / 100.0 * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, s.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return s[lo] + frac * (s[hi] - s[lo]);
+}
+
+std::pair<double, double> median_ci95(std::span<const double> sample) {
+  if (sample.empty()) throw std::invalid_argument("median_ci95: empty sample");
+  std::vector<double> s(sample.begin(), sample.end());
+  std::sort(s.begin(), s.end());
+  const auto n = static_cast<double>(s.size());
+  if (s.size() < 6) return {s.front(), s.back()};
+  // Binomial order-statistic bounds: ranks n/2 +/- 1.96*sqrt(n)/2.
+  const double half_width = 1.96 * std::sqrt(n) / 2.0;
+  auto lo_rank = static_cast<std::ptrdiff_t>(std::floor(n / 2.0 - half_width));
+  auto hi_rank = static_cast<std::ptrdiff_t>(std::ceil(n / 2.0 + half_width));
+  lo_rank = std::clamp<std::ptrdiff_t>(lo_rank, 0,
+                                       static_cast<std::ptrdiff_t>(s.size()) - 1);
+  hi_rank = std::clamp<std::ptrdiff_t>(hi_rank, 0,
+                                       static_cast<std::ptrdiff_t>(s.size()) - 1);
+  return {s[static_cast<std::size_t>(lo_rank)],
+          s[static_cast<std::size_t>(hi_rank)]};
+}
+
+Summary summarize(std::span<const double> sample) {
+  if (sample.empty()) throw std::invalid_argument("summarize: empty sample");
+  std::vector<double> s(sample.begin(), sample.end());
+  std::sort(s.begin(), s.end());
+
+  Summary out;
+  out.n = s.size();
+  out.min = s.front();
+  out.max = s.back();
+
+  double sum = 0.0;
+  for (double v : s) sum += v;
+  out.mean = sum / static_cast<double>(s.size());
+
+  if (s.size() > 1) {
+    double sq = 0.0;
+    for (double v : s) sq += (v - out.mean) * (v - out.mean);
+    out.stddev = std::sqrt(sq / static_cast<double>(s.size() - 1));
+  }
+
+  out.median = sorted_median(s);
+  std::tie(out.ci95_lo, out.ci95_hi) = median_ci95(s);
+  return out;
+}
+
+Histogram histogram(std::span<const double> sample, std::size_t bins) {
+  if (sample.empty() || bins == 0)
+    throw std::invalid_argument("histogram: empty sample or zero bins");
+  Histogram h;
+  h.lo = *std::min_element(sample.begin(), sample.end());
+  h.hi = *std::max_element(sample.begin(), sample.end());
+  h.counts.assign(bins, 0);
+  const double width = (h.hi - h.lo) / static_cast<double>(bins);
+  for (double v : sample) {
+    std::size_t b =
+        width > 0.0 ? static_cast<std::size_t>((v - h.lo) / width) : 0;
+    if (b >= bins) b = bins - 1;  // max value lands in the last bucket
+    ++h.counts[b];
+  }
+  return h;
+}
+
+}  // namespace atlc::util

@@ -1,0 +1,83 @@
+#include "atlc/util/table.hpp"
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace atlc::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size())
+    throw std::invalid_argument("Table::add_row: arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt_int(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string Table::fmt_bytes(std::uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", v, units[u]);
+  return buf;
+}
+
+std::string Table::fmt_percent(double fraction, int precision) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "| " << row[c];
+      os << std::string(widths[c] - row[c].size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  auto emit_sep = [&] {
+    for (std::size_t w : widths) os << "+" << std::string(w + 2, '-');
+    os << "+\n";
+  };
+
+  emit_sep();
+  emit_row(header_);
+  emit_sep();
+  for (const auto& row : rows_) emit_row(row);
+  emit_sep();
+  return os.str();
+}
+
+void Table::print(const std::string& title) const {
+  std::printf("\n=== %s ===\n%s", title.c_str(), to_string().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace atlc::util

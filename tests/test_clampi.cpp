@@ -1,0 +1,539 @@
+// Tests for the CLaMPI-style cache: free-space management, hash index,
+// victim selection (LRU+positional and user scores), miss classification,
+// consistency modes, adaptive resizing, and the CachedWindow integration.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "atlc/clampi/cache.hpp"
+#include "atlc/clampi/cached_window.hpp"
+#include "atlc/clampi/free_space.hpp"
+#include "atlc/util/rng.hpp"
+
+namespace atlc::clampi {
+namespace {
+
+std::vector<std::byte> payload(std::size_t n, std::uint8_t fill) {
+  return std::vector<std::byte>(n, std::byte{fill});
+}
+
+Key key_of(std::uint32_t target, std::uint64_t off, std::uint64_t bytes) {
+  return Key{target, off, bytes};
+}
+
+// -------------------------------------------------------------- FreeSpace ---
+
+TEST(FreeSpace, AllocateAndReleaseRoundTrip) {
+  FreeSpace fs(1024);
+  EXPECT_EQ(fs.total_free(), 1024u);
+  const auto a = fs.allocate(100);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(fs.total_free(), 924u);
+  fs.release(*a, 100);
+  EXPECT_EQ(fs.total_free(), 1024u);
+  EXPECT_EQ(fs.num_regions(), 1u);  // coalesced back to one region
+}
+
+TEST(FreeSpace, BestFitPrefersSmallestFittingRegion) {
+  FreeSpace fs(1000);
+  const auto a = fs.allocate(100);  // [0,100)
+  const auto b = fs.allocate(50);   // [100,150)
+  const auto c = fs.allocate(200);  // [150,350)
+  ASSERT_TRUE(a && b && c);
+  fs.release(*a, 100);  // free: [0,100)
+  fs.release(*c, 200);  // free: [150,350) and tail [350,1000)
+  // A 90-byte request best-fits the 100-byte hole, not the 200-byte one.
+  const auto d = fs.allocate(90);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(*d, 0u);
+}
+
+TEST(FreeSpace, CoalescesBothSides) {
+  FreeSpace fs(300);
+  const auto a = fs.allocate(100);
+  const auto b = fs.allocate(100);
+  const auto c = fs.allocate(100);
+  ASSERT_TRUE(a && b && c);
+  fs.release(*a, 100);
+  fs.release(*c, 100);
+  EXPECT_EQ(fs.num_regions(), 2u);
+  fs.release(*b, 100);  // merges with both neighbors
+  EXPECT_EQ(fs.num_regions(), 1u);
+  EXPECT_EQ(fs.largest_free(), 300u);
+}
+
+TEST(FreeSpace, ExternalFragmentationBlocksLargeAlloc) {
+  FreeSpace fs(300);
+  const auto a = fs.allocate(100);
+  const auto b = fs.allocate(100);
+  const auto c = fs.allocate(100);
+  ASSERT_TRUE(a && b && c);
+  fs.release(*a, 100);
+  fs.release(*c, 100);
+  // 200 bytes free in total, but no single 150-byte region.
+  EXPECT_EQ(fs.total_free(), 200u);
+  EXPECT_FALSE(fs.allocate(150).has_value());
+  EXPECT_GT(fs.fragmentation(), 0.0);
+}
+
+TEST(FreeSpace, AdjacentFreeMeasuresMergeBenefit) {
+  FreeSpace fs(300);
+  const auto a = fs.allocate(100);
+  const auto b = fs.allocate(100);
+  ASSERT_TRUE(a && b);
+  fs.release(*a, 100);
+  // Entry b ([100,200)) has 100 free bytes before it and 100 after.
+  EXPECT_EQ(fs.adjacent_free(*b, 100), 200u);
+}
+
+TEST(FreeSpace, ZeroByteAllocSucceeds) {
+  FreeSpace fs(16);
+  EXPECT_TRUE(fs.allocate(0).has_value());
+  EXPECT_EQ(fs.total_free(), 16u);
+}
+
+TEST(FreeSpace, ResetRestoresSingleRegion) {
+  FreeSpace fs(128);
+  (void)fs.allocate(64);
+  fs.reset();
+  EXPECT_EQ(fs.total_free(), 128u);
+  EXPECT_EQ(fs.num_regions(), 1u);
+}
+
+// ------------------------------------------------------------- Cache core ---
+
+CacheConfig small_config() {
+  CacheConfig c;
+  c.buffer_bytes = 1024;
+  c.hash_slots = 64;
+  c.mode = Mode::AlwaysCache;
+  return c;
+}
+
+TEST(Cache, InsertThenHit) {
+  Cache cache(small_config());
+  const auto data = payload(32, 0xAB);
+  const Key k = key_of(1, 0, 32);
+  EXPECT_TRUE(cache.insert(k, data.data()));
+  std::vector<std::byte> out(32);
+  EXPECT_TRUE(cache.lookup(k, out.data()));
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(Cache, MissOnUnknownKey) {
+  Cache cache(small_config());
+  std::vector<std::byte> out(8);
+  EXPECT_FALSE(cache.lookup(key_of(0, 0, 8), out.data()));
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().compulsory_misses, 1u);
+}
+
+TEST(Cache, DistinguishesKeysByAllFields) {
+  Cache cache(small_config());
+  const auto a = payload(16, 1), b = payload(16, 2);
+  EXPECT_TRUE(cache.insert(key_of(0, 0, 16), a.data()));
+  EXPECT_TRUE(cache.insert(key_of(1, 0, 16), b.data()));  // same offset, other target
+  std::vector<std::byte> out(16);
+  EXPECT_TRUE(cache.lookup(key_of(1, 0, 16), out.data()));
+  EXPECT_EQ(out, b);
+  EXPECT_FALSE(cache.lookup(key_of(2, 0, 16), out.data()));
+}
+
+TEST(Cache, OversizedEntryRejected) {
+  Cache cache(small_config());
+  const auto data = payload(2048, 3);  // buffer is 1024
+  EXPECT_FALSE(cache.insert(key_of(0, 0, 2048), data.data()));
+  EXPECT_EQ(cache.stats().insert_failures, 1u);
+}
+
+TEST(Cache, CapacityEvictionMakesRoom) {
+  Cache cache(small_config());  // 1024 B buffer
+  const auto data = payload(256, 9);
+  for (std::uint32_t i = 0; i < 6; ++i)
+    EXPECT_TRUE(cache.insert(key_of(0, i * 256, 256), data.data()));
+  EXPECT_LE(cache.num_entries(), 4u);
+  EXPECT_GE(cache.stats().evictions_space, 2u);
+}
+
+TEST(Cache, LruEvictsColdestEntry) {
+  CacheConfig cfg = small_config();
+  cfg.lru_window = 1;  // pure LRU (no positional rescue)
+  Cache cache(cfg);
+  const auto data = payload(256, 1);
+  for (std::uint32_t i = 0; i < 4; ++i)
+    ASSERT_TRUE(cache.insert(key_of(0, i * 256, 256), data.data()));
+  // Touch entry 0 so entry 1 becomes the coldest.
+  std::vector<std::byte> out(256);
+  ASSERT_TRUE(cache.lookup(key_of(0, 0, 256), out.data()));
+  ASSERT_TRUE(cache.insert(key_of(0, 4 * 256, 256), data.data()));  // evicts #1
+  EXPECT_TRUE(cache.lookup(key_of(0, 0, 256), out.data()));
+  EXPECT_FALSE(cache.lookup(key_of(0, 1 * 256, 256), out.data()));
+}
+
+TEST(Cache, CapacityMissClassification) {
+  CacheConfig cfg = small_config();
+  cfg.lru_window = 1;
+  Cache cache(cfg);
+  const auto data = payload(512, 1);
+  ASSERT_TRUE(cache.insert(key_of(0, 0, 512), data.data()));
+  ASSERT_TRUE(cache.insert(key_of(0, 512, 512), data.data()));
+  ASSERT_TRUE(cache.insert(key_of(0, 1024, 512), data.data()));  // evicts first
+  std::vector<std::byte> out(512);
+  EXPECT_FALSE(cache.lookup(key_of(0, 0, 512), out.data()));
+  EXPECT_EQ(cache.stats().capacity_misses, 1u);
+  EXPECT_EQ(cache.stats().compulsory_misses, 0u);
+}
+
+TEST(Cache, UserScoreEvictsLowestScore) {
+  CacheConfig cfg = small_config();
+  cfg.policy = VictimPolicy::UserScore;
+  Cache cache(cfg);
+  const auto data = payload(256, 1);
+  // Insert four entries with scores 10, 1, 7, 5 — capacity full.
+  ASSERT_TRUE(cache.insert(key_of(0, 0, 256), data.data(), 10));
+  ASSERT_TRUE(cache.insert(key_of(0, 256, 256), data.data(), 1));
+  ASSERT_TRUE(cache.insert(key_of(0, 512, 256), data.data(), 7));
+  ASSERT_TRUE(cache.insert(key_of(0, 768, 256), data.data(), 5));
+  // Next insert evicts the score-1 entry regardless of recency.
+  std::vector<std::byte> out(256);
+  ASSERT_TRUE(cache.lookup(key_of(0, 256, 256), out.data()));  // make it MRU
+  ASSERT_TRUE(cache.insert(key_of(0, 1024, 256), data.data(), 8));
+  EXPECT_FALSE(cache.lookup(key_of(0, 256, 256), out.data()));
+  EXPECT_TRUE(cache.lookup(key_of(0, 0, 256), out.data()));
+}
+
+TEST(Cache, UserScoreProtectsHighDegreeEntries) {
+  // The paper's motivation: high-degree adjacency lists should survive
+  // floods of low-degree entries.
+  CacheConfig cfg;
+  cfg.buffer_bytes = 4096;
+  cfg.hash_slots = 256;
+  cfg.policy = VictimPolicy::UserScore;
+  Cache cache(cfg);
+  const auto hub_data = payload(1024, 0x77);
+  ASSERT_TRUE(cache.insert(key_of(9, 0, 1024), hub_data.data(), 1000.0));
+  const auto small = payload(64, 1);
+  for (std::uint32_t i = 0; i < 200; ++i)
+    (void)cache.insert(key_of(0, i * 64, 64), small.data(), 2.0);
+  std::vector<std::byte> out(1024);
+  EXPECT_TRUE(cache.lookup(key_of(9, 0, 1024), out.data()));
+  EXPECT_EQ(out, hub_data);
+}
+
+TEST(Cache, ConflictEvictionWhenProbeWindowFull) {
+  CacheConfig cfg;
+  cfg.buffer_bytes = 1 << 20;  // space is NOT the constraint
+  cfg.hash_slots = 4;          // tiny table
+  cfg.probe_limit = 2;
+  Cache cache(cfg);
+  const auto data = payload(16, 1);
+  for (std::uint32_t i = 0; i < 64; ++i)
+    ASSERT_TRUE(cache.insert(key_of(0, i * 16, 16), data.data()));
+  EXPECT_GT(cache.stats().evictions_conflict, 0u);
+  EXPECT_LE(cache.num_entries(), 4u);
+}
+
+TEST(Cache, FlushDropsEverythingAndCountsFlushMisses) {
+  Cache cache(small_config());
+  const auto data = payload(64, 1);
+  ASSERT_TRUE(cache.insert(key_of(0, 0, 64), data.data()));
+  cache.flush();
+  EXPECT_EQ(cache.num_entries(), 0u);
+  std::vector<std::byte> out(64);
+  EXPECT_FALSE(cache.lookup(key_of(0, 0, 64), out.data()));
+  EXPECT_EQ(cache.stats().flush_misses, 1u);
+}
+
+TEST(Cache, TransparentModeFlushesOnEpochClose) {
+  CacheConfig cfg = small_config();
+  cfg.mode = Mode::Transparent;
+  Cache cache(cfg);
+  const auto data = payload(64, 1);
+  ASSERT_TRUE(cache.insert(key_of(0, 0, 64), data.data()));
+  cache.epoch_close();
+  EXPECT_EQ(cache.num_entries(), 0u);
+}
+
+TEST(Cache, AlwaysCacheModeSurvivesEpochClose) {
+  Cache cache(small_config());  // AlwaysCache
+  const auto data = payload(64, 1);
+  ASSERT_TRUE(cache.insert(key_of(0, 0, 64), data.data()));
+  cache.epoch_close();
+  EXPECT_EQ(cache.num_entries(), 1u);
+}
+
+TEST(Cache, AdaptiveResizeFlushesAndGrows) {
+  CacheConfig cfg;
+  cfg.buffer_bytes = 1 << 20;
+  cfg.hash_slots = 4;
+  cfg.probe_limit = 2;
+  cfg.adaptive = true;
+  cfg.adaptive_interval = 64;
+  Cache cache(cfg);
+  const auto data = payload(16, 1);
+  std::vector<std::byte> out(16);
+  // Hammer with distinct keys: conflicts mount, adaptivity must kick in.
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    if (!cache.lookup(key_of(0, i * 16, 16), out.data()))
+      (void)cache.insert(key_of(0, i * 16, 16), data.data());
+  }
+  EXPECT_GT(cache.stats().hash_resizes, 0u);
+  EXPECT_GT(cache.stats().flushes, 0u);
+}
+
+TEST(Cache, EntriesSnapshotMatchesContents) {
+  Cache cache(small_config());
+  const auto data = payload(32, 1);
+  ASSERT_TRUE(cache.insert(key_of(0, 0, 32), data.data(), 3.5));
+  ASSERT_TRUE(cache.insert(key_of(1, 64, 32), data.data(), 7.0));
+  const auto entries = cache.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  double score_sum = 0;
+  for (const auto& e : entries) score_sum += e.user_score;
+  EXPECT_DOUBLE_EQ(score_sum, 10.5);
+}
+
+TEST(Cache, SizingHeuristics) {
+  // Fixed-size entries: one slot per entry that fits.
+  EXPECT_EQ(Cache::suggest_hash_slots_fixed(1024, 16), 64u);
+  // Power law (paper: n * f^alpha, alpha=2): half-the-graph cache on 1e6
+  // vertices expects 1e6 * 0.25 entries.
+  EXPECT_EQ(Cache::suggest_hash_slots_power_law(1000000, 0.5), 250000u);
+  // Degenerate inputs stay sane.
+  EXPECT_GE(Cache::suggest_hash_slots_fixed(0, 16), 16u);
+  EXPECT_GE(Cache::suggest_hash_slots_power_law(100, 0.0), 16u);
+}
+
+// Shadow-model property test: with ample space and slots, the cache must
+// behave exactly like a map (every inserted key hits with correct data).
+TEST(Cache, ShadowModelNoEvictionRegime) {
+  CacheConfig cfg;
+  cfg.buffer_bytes = 1 << 20;
+  cfg.hash_slots = 1 << 14;
+  Cache cache(cfg);
+  util::Xoshiro256 rng(42);
+  std::map<std::uint64_t, std::vector<std::byte>> shadow;
+  for (int step = 0; step < 2000; ++step) {
+    const std::uint64_t off = rng.next_below(256) * 8;
+    const std::uint64_t bytes = 8 + rng.next_below(4) * 8;
+    const Key k = key_of(0, off, bytes);
+    const std::uint64_t id = key_hash(k);
+    std::vector<std::byte> out(bytes);
+    const bool hit = cache.lookup(k, out.data());
+    const auto it = shadow.find(id);
+    EXPECT_EQ(hit, it != shadow.end()) << "step " << step;
+    if (hit) {
+      EXPECT_EQ(out, it->second);
+    } else {
+      const auto data = payload(bytes, static_cast<std::uint8_t>(off ^ bytes));
+      ASSERT_TRUE(cache.insert(k, data.data()));
+      shadow[id] = data;
+    }
+  }
+  EXPECT_EQ(cache.num_entries(), shadow.size());
+  EXPECT_EQ(cache.stats().evictions_space, 0u);
+  EXPECT_EQ(cache.stats().evictions_conflict, 0u);
+}
+
+// Under heavy eviction pressure, hits must still return the right bytes.
+TEST(Cache, EvictionRegimeNeverServesWrongData) {
+  CacheConfig cfg;
+  cfg.buffer_bytes = 4096;
+  cfg.hash_slots = 32;
+  cfg.probe_limit = 4;
+  Cache cache(cfg);
+  util::Xoshiro256 rng(7);
+  for (int step = 0; step < 5000; ++step) {
+    const std::uint64_t idx = rng.next_below(64);
+    const std::uint64_t bytes = 64 + (idx % 7) * 32;
+    const Key k = key_of(0, idx * 1024, bytes);
+    std::vector<std::byte> out(bytes);
+    const auto expected = payload(bytes, static_cast<std::uint8_t>(idx));
+    if (cache.lookup(k, out.data())) {
+      EXPECT_EQ(out, expected) << "corrupted hit at step " << step;
+    } else {
+      (void)cache.insert(k, expected.data());
+    }
+  }
+  EXPECT_GT(cache.stats().evictions_space + cache.stats().evictions_conflict,
+            0u);
+}
+
+// ---------------------------------------------- admission & run eviction ---
+
+TEST(CacheAdmission, LowScoreNewcomerRejected) {
+  CacheConfig cfg = small_config();
+  cfg.policy = VictimPolicy::UserScore;
+  Cache cache(cfg);
+  const auto data = payload(256, 1);
+  for (std::uint32_t i = 0; i < 4; ++i)
+    ASSERT_TRUE(cache.insert(key_of(0, i * 256, 256), data.data(), 50.0));
+  // Cache is full of score-50 residents; a score-10 newcomer must bounce.
+  EXPECT_FALSE(cache.insert(key_of(0, 9999, 256), data.data(), 10.0));
+  EXPECT_GT(cache.stats().admission_rejects, 0u);
+  EXPECT_EQ(cache.num_entries(), 4u);
+  // All residents still served.
+  std::vector<std::byte> out(256);
+  for (std::uint32_t i = 0; i < 4; ++i)
+    EXPECT_TRUE(cache.lookup(key_of(0, i * 256, 256), out.data()));
+}
+
+TEST(CacheAdmission, EqualScoreDoesNotChurn) {
+  CacheConfig cfg = small_config();
+  cfg.policy = VictimPolicy::UserScore;
+  Cache cache(cfg);
+  const auto data = payload(256, 1);
+  for (std::uint32_t i = 0; i < 4; ++i)
+    ASSERT_TRUE(cache.insert(key_of(0, i * 256, 256), data.data(), 5.0));
+  // Same-score newcomers must not displace residents (no cycling).
+  EXPECT_FALSE(cache.insert(key_of(1, 0, 256), data.data(), 5.0));
+  EXPECT_EQ(cache.num_entries(), 4u);
+}
+
+TEST(CacheRunEviction, AssemblesContiguousSpaceForLargeEntry) {
+  // Buffer packed with 32 small low-score entries; a high-score entry of
+  // half the buffer must be admitted by clearing a contiguous run.
+  CacheConfig cfg;
+  cfg.buffer_bytes = 1024;
+  cfg.hash_slots = 128;
+  cfg.policy = VictimPolicy::UserScore;
+  Cache cache(cfg);
+  const auto small = payload(32, 1);
+  for (std::uint32_t i = 0; i < 32; ++i)
+    ASSERT_TRUE(cache.insert(key_of(0, i * 32, 32), small.data(), 1.0));
+  const auto big = payload(512, 9);
+  EXPECT_TRUE(cache.insert(key_of(7, 0, 512), big.data(), 100.0));
+  std::vector<std::byte> out(512);
+  EXPECT_TRUE(cache.lookup(key_of(7, 0, 512), out.data()));
+  EXPECT_EQ(out, big);
+}
+
+TEST(CacheRunEviction, HubsDoNotThrashEachOther) {
+  // A hub-sized resident with the top score must not be sacrificed to
+  // admit a slightly lower-scored hub (strictly-descending displacement
+  // only — this is what keeps the paper's degree scores stable).
+  CacheConfig cfg;
+  cfg.buffer_bytes = 1024;
+  cfg.hash_slots = 128;
+  cfg.policy = VictimPolicy::UserScore;
+  Cache cache(cfg);
+  const auto hub_a = payload(768, 0xA);
+  ASSERT_TRUE(cache.insert(key_of(0, 0, 768), hub_a.data(), 1000.0));
+  const auto filler = payload(64, 1);
+  for (std::uint32_t i = 0; i < 4; ++i)
+    (void)cache.insert(key_of(1, i * 64, 64), filler.data(), 2.0);
+  // Hub B (score 900) cannot fit without clearing hub A (score 1000).
+  const auto hub_b = payload(768, 0xB);
+  EXPECT_FALSE(cache.insert(key_of(2, 0, 768), hub_b.data(), 900.0));
+  std::vector<std::byte> out(768);
+  EXPECT_TRUE(cache.lookup(key_of(0, 0, 768), out.data()));
+  EXPECT_EQ(out, hub_a);
+}
+
+TEST(CacheRunEviction, LruPolicyStillAdmitsLargeEntries) {
+  CacheConfig cfg;
+  cfg.buffer_bytes = 1024;
+  cfg.hash_slots = 128;  // LruPositional default policy
+  Cache cache(cfg);
+  const auto small = payload(32, 1);
+  for (std::uint32_t i = 0; i < 32; ++i)
+    ASSERT_TRUE(cache.insert(key_of(0, i * 32, 32), small.data()));
+  const auto big = payload(900, 5);
+  EXPECT_TRUE(cache.insert(key_of(3, 0, 900), big.data()));
+  std::vector<std::byte> out(900);
+  EXPECT_TRUE(cache.lookup(key_of(3, 0, 900), out.data()));
+  EXPECT_EQ(out, big);
+}
+
+// --------------------------------------------------------- CachedWindow ---
+
+TEST(CachedWindow, HitsAvoidRemoteGets) {
+  rma::Runtime::Options o;
+  o.ranks = 2;
+  rma::Runtime::run(o, [&](rma::RankCtx& ctx) {
+    std::vector<std::uint32_t> local(256);
+    for (std::size_t i = 0; i < local.size(); ++i)
+      local[i] = ctx.rank() * 1000 + static_cast<std::uint32_t>(i);
+    auto raw = ctx.create_window<std::uint32_t>(local);
+    CacheConfig cfg;
+    cfg.buffer_bytes = 1 << 16;
+    cfg.hash_slots = 256;
+    CachedWindow<std::uint32_t> win(ctx, raw, cfg);
+
+    const std::uint32_t peer = 1 - ctx.rank();
+    std::uint32_t buf[8];
+    win.get(peer, 16, 8, buf);  // miss -> remote
+    EXPECT_EQ(ctx.stats().remote_gets, 1u);
+    EXPECT_EQ(buf[0], peer * 1000 + 16);
+
+    win.get(peer, 16, 8, buf);  // hit -> served locally
+    EXPECT_EQ(ctx.stats().remote_gets, 1u);  // unchanged
+    EXPECT_EQ(buf[7], peer * 1000 + 23);
+    EXPECT_EQ(win.cache().stats().hits, 1u);
+    ctx.barrier();
+  });
+}
+
+TEST(CachedWindow, LocalGetsBypassCache) {
+  rma::Runtime::Options o;
+  o.ranks = 2;
+  rma::Runtime::run(o, [&](rma::RankCtx& ctx) {
+    std::vector<std::uint32_t> local(64, ctx.rank());
+    auto raw = ctx.create_window<std::uint32_t>(local);
+    CachedWindow<std::uint32_t> win(ctx, raw, small_config());
+    std::uint32_t buf[4];
+    win.get(ctx.rank(), 0, 4, buf);
+    EXPECT_EQ(win.cache().stats().accesses(), 0u);
+    EXPECT_EQ(ctx.stats().local_gets, 1u);
+    ctx.barrier();
+  });
+}
+
+TEST(CachedWindow, HitChargesLessThanMiss) {
+  rma::Runtime::Options o;
+  o.ranks = 2;
+  rma::Runtime::run(o, [&](rma::RankCtx& ctx) {
+    std::vector<std::uint32_t> local(1 << 12, 5);
+    auto raw = ctx.create_window<std::uint32_t>(local);
+    CacheConfig cfg;
+    cfg.buffer_bytes = 1 << 16;
+    cfg.hash_slots = 64;
+    CachedWindow<std::uint32_t> win(ctx, raw, cfg);
+    std::vector<std::uint32_t> buf(1024);
+
+    const double t0 = ctx.now();
+    win.get(1 - ctx.rank(), 0, 1024, buf.data());
+    const double miss_cost = ctx.now() - t0;
+    const double t1 = ctx.now();
+    win.get(1 - ctx.rank(), 0, 1024, buf.data());
+    const double hit_cost = ctx.now() - t1;
+    EXPECT_LT(hit_cost, miss_cost / 5.0);
+    ctx.barrier();
+  });
+}
+
+TEST(CachedWindow, OverlappedMissInsertsOnFinish) {
+  rma::Runtime::Options o;
+  o.ranks = 2;
+  rma::Runtime::run(o, [&](rma::RankCtx& ctx) {
+    std::vector<std::uint32_t> local(4096, 9);
+    auto raw = ctx.create_window<std::uint32_t>(local);
+    CacheConfig cfg;
+    cfg.buffer_bytes = 1 << 16;
+    cfg.hash_slots = 64;
+    CachedWindow<std::uint32_t> win(ctx, raw, cfg);
+    std::vector<std::uint32_t> buf(512);
+    auto pending = win.begin_get(1 - ctx.rank(), 0, 512, buf.data(), 3.0);
+    EXPECT_EQ(win.cache().num_entries(), 0u);  // not yet inserted
+    ctx.charge_compute(1e-3);                  // overlapping work
+    win.finish(pending);
+    EXPECT_EQ(win.cache().num_entries(), 1u);
+    EXPECT_EQ(buf[0], 9u);
+    ctx.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace atlc::clampi

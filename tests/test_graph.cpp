@@ -1,0 +1,492 @@
+// Unit tests for the graph substrate: edge lists, CSR, cleaning, relabeling,
+// generators, IO, partitioning, degree statistics and reference LCC/TC.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <numeric>
+#include <set>
+
+#include "atlc/graph/clean.hpp"
+#include "atlc/graph/csr.hpp"
+#include "atlc/graph/degree_stats.hpp"
+#include "atlc/graph/edge_list.hpp"
+#include "atlc/graph/generators.hpp"
+#include "atlc/graph/io.hpp"
+#include "atlc/graph/partition.hpp"
+#include "atlc/graph/reference.hpp"
+#include "atlc/graph/relabel.hpp"
+
+namespace atlc::graph {
+namespace {
+
+/// The paper's running example (Fig. 1 left): 6 vertices, two "communities"
+/// bridged by edges 2-4. Undirected.
+EdgeList paper_example() {
+  EdgeList e(6, {}, Directedness::Undirected);
+  const std::pair<int, int> edges[] = {{0, 1}, {0, 2}, {1, 2}, {2, 3},
+                                       {2, 4}, {3, 4}, {4, 5}, {3, 5}};
+  for (auto [u, v] : edges) e.add_edge(u, v);
+  e.symmetrize();
+  return e;
+}
+
+/// Complete graph K_n.
+EdgeList complete(VertexId n) {
+  EdgeList e(n, {}, Directedness::Undirected);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = 0; v < n; ++v)
+      if (u != v) e.add_edge(u, v);
+  return e;
+}
+
+// ------------------------------------------------------------- EdgeList ---
+
+TEST(EdgeList, SortAndDedupRemovesMultiEdges) {
+  EdgeList e(3, {{0, 1}, {0, 1}, {1, 2}, {0, 1}}, Directedness::Directed);
+  e.sort_and_dedup();
+  EXPECT_EQ(e.num_edges(), 2u);
+}
+
+TEST(EdgeList, RemoveSelfLoops) {
+  EdgeList e(3, {{0, 0}, {0, 1}, {2, 2}}, Directedness::Directed);
+  e.remove_self_loops();
+  EXPECT_EQ(e.num_edges(), 1u);
+}
+
+TEST(EdgeList, SymmetrizeAddsReverses) {
+  EdgeList e(3, {{0, 1}, {1, 2}}, Directedness::Undirected);
+  e.symmetrize();
+  EXPECT_EQ(e.num_edges(), 4u);
+  EXPECT_TRUE(e.is_symmetric());
+}
+
+TEST(EdgeList, SymmetrizeIdempotent) {
+  EdgeList e(3, {{0, 1}, {1, 0}}, Directedness::Undirected);
+  e.symmetrize();
+  EXPECT_EQ(e.num_edges(), 2u);
+}
+
+TEST(EdgeList, SymmetrizeNoOpForDirected) {
+  EdgeList e(3, {{0, 1}}, Directedness::Directed);
+  e.symmetrize();
+  EXPECT_EQ(e.num_edges(), 1u);
+}
+
+// ------------------------------------------------------------------ CSR ---
+
+TEST(Csr, PaperFigure2Example) {
+  // Fig. 2: node A of the Fig. 1 graph stores vertices 0..2 with
+  // offsets [0,2,6] and adjacencies [1,2, 0,2,3,4, 0,1,4] (offset array in
+  // the paper omits the trailing total; we store n+1 entries).
+  EdgeList e(5, {}, Directedness::Directed);
+  for (auto [u, v] : std::initializer_list<std::pair<int, int>>{
+           {0, 1}, {0, 2}, {1, 0}, {1, 2}, {1, 3}, {1, 4}, {2, 0}, {2, 1},
+           {2, 4}})
+    e.add_edge(u, v);
+  const CSRGraph g = CSRGraph::from_edges(e);
+  EXPECT_EQ(g.offsets()[0], 0u);
+  EXPECT_EQ(g.offsets()[1], 2u);
+  EXPECT_EQ(g.offsets()[2], 6u);
+  EXPECT_EQ(g.offsets()[3], 9u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 4u);
+  ASSERT_EQ(g.neighbors(1).size(), 4u);
+  EXPECT_EQ(g.neighbors(1)[0], 0u);
+  EXPECT_EQ(g.neighbors(1)[3], 4u);
+}
+
+TEST(Csr, AdjacencySortedAfterBuild) {
+  EdgeList e(4, {{0, 3}, {0, 1}, {0, 2}, {2, 1}}, Directedness::Directed);
+  const CSRGraph g = CSRGraph::from_edges(e);
+  EXPECT_TRUE(g.adjacency_sorted_unique());
+}
+
+TEST(Csr, HasEdge) {
+  const CSRGraph g = CSRGraph::from_edges(paper_example());
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 5));
+}
+
+TEST(Csr, InDegreesMatchOutForUndirected) {
+  const CSRGraph g = CSRGraph::from_edges(paper_example());
+  const auto in = g.in_degrees();
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(in[v], g.degree(v)) << "vertex " << v;
+}
+
+TEST(Csr, CsrBytesAccountsBothArrays) {
+  const CSRGraph g = CSRGraph::from_edges(paper_example());
+  EXPECT_EQ(g.csr_bytes(), (g.num_vertices() + 1) * sizeof(EdgeIndex) +
+                               g.num_edges() * sizeof(VertexId));
+}
+
+TEST(Csr, FromRawValidates) {
+  EXPECT_DEATH(
+      (void)CSRGraph::from_raw(2, {0, 1}, {1, 0}, Directedness::Directed),
+      "offsets");
+}
+
+TEST(Csr, EmptyGraph) {
+  EdgeList e(0, {}, Directedness::Undirected);
+  const CSRGraph g = CSRGraph::from_edges(e);
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+// ---------------------------------------------------------------- clean ---
+
+TEST(Clean, RemovesIsolatedAndDegreeOneVertices) {
+  // Vertex 3 is isolated; vertex 2 has degree 1 (cannot close a triangle).
+  EdgeList e(4, {{0, 1}, {1, 0}, {0, 2}, {2, 0}, {1, 2}, {2, 1}},
+             Directedness::Undirected);
+  EdgeList pendant(5, {}, Directedness::Undirected);
+  pendant.add_edge(0, 1);
+  pendant.add_edge(1, 0);
+  pendant.add_edge(0, 2);
+  pendant.add_edge(2, 0);
+  pendant.add_edge(1, 2);
+  pendant.add_edge(2, 1);
+  pendant.add_edge(3, 0);
+  pendant.add_edge(0, 3);  // vertex 3: degree 1; vertex 4: isolated
+  const CleanReport rep = clean(pendant);
+  EXPECT_EQ(rep.vertices_removed, 2u);
+  EXPECT_EQ(pendant.num_vertices(), 3u);
+  // Surviving ids must be compact and the triangle intact.
+  const CSRGraph g = CSRGraph::from_edges(pendant);
+  EXPECT_EQ(reference_lcc(g).global_triangles, 1u);
+}
+
+TEST(Clean, RecursiveRemovalReachesFixedPoint) {
+  // Chain 0-1-2-3 plus triangle 3-4-5: single-pass removal drops 0
+  // (degree 1), recursive must also drop 1 and 2.
+  EdgeList e(6, {}, Directedness::Undirected);
+  for (auto [u, v] : std::initializer_list<std::pair<int, int>>{
+           {0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {3, 5}})
+    e.add_edge(u, v);
+  e.symmetrize();
+  CleanOptions opts;
+  opts.recursive_degree_removal = true;
+  const CleanReport rep = clean(e, opts);
+  EXPECT_EQ(e.num_vertices(), 3u);
+  EXPECT_GE(rep.degree_removal_rounds, 2u);
+  const CSRGraph g = CSRGraph::from_edges(e);
+  EXPECT_EQ(reference_lcc(g).global_triangles, 1u);
+}
+
+TEST(Clean, CountsSelfLoopsAndMultiEdges) {
+  EdgeList e(3, {{0, 0}, {0, 1}, {0, 1}, {1, 0}, {1, 2}, {2, 1}, {0, 2},
+                 {2, 0}},
+             Directedness::Undirected);
+  const CleanReport rep = clean(e);
+  EXPECT_EQ(rep.self_loops_removed, 1u);
+  EXPECT_EQ(rep.multi_edges_removed, 1u);
+}
+
+TEST(Clean, PreservesTriangleCount) {
+  auto e = generate_rmat({.scale = 8, .edge_factor = 8, .seed = 3});
+  EdgeList copy = e;
+  clean(copy);
+  const auto before = reference_lcc(CSRGraph::from_edges([&] {
+                        EdgeList x = e;
+                        x.remove_self_loops();
+                        x.sort_and_dedup();
+                        return x;
+                      }()))
+                          .global_triangles;
+  const auto after = reference_lcc(CSRGraph::from_edges(copy)).global_triangles;
+  EXPECT_EQ(before, after);  // degree<2 vertices are in no triangle
+}
+
+// -------------------------------------------------------------- relabel ---
+
+TEST(Relabel, PermutationIsBijective) {
+  const auto perm = random_permutation(100, 42);
+  std::set<VertexId> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Relabel, DeterministicPerSeed) {
+  EXPECT_EQ(random_permutation(50, 7), random_permutation(50, 7));
+  EXPECT_NE(random_permutation(50, 7), random_permutation(50, 8));
+}
+
+TEST(Relabel, PreservesTriangles) {
+  auto e = generate_rmat({.scale = 7, .edge_factor = 8, .seed = 5});
+  clean(e);
+  const auto before = reference_lcc(CSRGraph::from_edges(e)).global_triangles;
+  relabel_random(e, 99);
+  const auto after = reference_lcc(CSRGraph::from_edges(e)).global_triangles;
+  EXPECT_EQ(before, after);
+}
+
+// ----------------------------------------------------------- generators ---
+
+TEST(Rmat, SizesFollowScaleAndEdgeFactor) {
+  const auto e = generate_rmat(
+      {.scale = 10, .edge_factor = 4, .seed = 1,
+       .directedness = Directedness::Directed});
+  EXPECT_EQ(e.num_vertices(), 1u << 10);
+  EXPECT_EQ(e.num_edges(), (1u << 10) * 4u);
+}
+
+TEST(Rmat, DeterministicPerSeed) {
+  const auto a = generate_rmat({.scale = 8, .edge_factor = 4, .seed = 9});
+  const auto b = generate_rmat({.scale = 8, .edge_factor = 4, .seed = 9});
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(Rmat, UndirectedOutputIsSymmetric) {
+  const auto e = generate_rmat({.scale = 7, .edge_factor = 4, .seed = 2});
+  EXPECT_TRUE(e.is_symmetric());
+}
+
+TEST(Rmat, SkewedDegreesVsUniform) {
+  auto rmat = generate_rmat({.scale = 10, .edge_factor = 8, .seed = 3});
+  clean(rmat);
+  auto uni = generate_uniform({.num_vertices = 1u << 10,
+                               .num_edges = 8u << 10,
+                               .seed = 3});
+  clean(uni);
+  const auto s_rmat = degree_stats(CSRGraph::from_edges(rmat));
+  const auto s_uni = degree_stats(CSRGraph::from_edges(uni));
+  // The R-MAT parameters of the paper produce a heavy-tailed distribution;
+  // the uniform control does not (paper Fig. 4 upper-left).
+  EXPECT_GT(s_rmat.gini, s_uni.gini + 0.1);
+  EXPECT_GT(s_rmat.max, s_uni.max);
+}
+
+TEST(Uniform, EdgeCountAndRange) {
+  const auto e = generate_uniform({.num_vertices = 100,
+                                   .num_edges = 500,
+                                   .seed = 1,
+                                   .directedness = Directedness::Directed});
+  EXPECT_EQ(e.num_edges(), 500u);
+  for (const Edge& ed : e.edges()) {
+    EXPECT_LT(ed.u, 100u);
+    EXPECT_LT(ed.v, 100u);
+  }
+}
+
+TEST(Circles, ProducesClusteredSkewedGraph) {
+  auto e = generate_circles({.num_vertices = 1024, .seed = 11});
+  clean(e);
+  const CSRGraph g = CSRGraph::from_edges(e);
+  ASSERT_GT(g.num_vertices(), 500u);
+  const auto ref = reference_lcc(g);
+  // High clustering: mean LCC well above an ER graph of equal density.
+  double mean_lcc = 0;
+  for (double c : ref.lcc) mean_lcc += c;
+  mean_lcc /= static_cast<double>(g.num_vertices());
+  EXPECT_GT(mean_lcc, 0.15);
+  // Skewed degrees (hub members exist).
+  const auto stats = degree_stats(g);
+  EXPECT_GT(static_cast<double>(stats.max), 4.0 * stats.mean);
+}
+
+// ------------------------------------------------------------------- IO ---
+
+TEST(Io, TextRoundTrip) {
+  auto e = generate_rmat({.scale = 6, .edge_factor = 4, .seed = 7});
+  clean(e);
+  const std::string path = ::testing::TempDir() + "atlc_text_edges.txt";
+  save_text_edges(e, path);
+  const EdgeList loaded = load_text_edges(path, Directedness::Undirected);
+  // Vertex ids are compacted on load; triangle counts are invariant.
+  EXPECT_EQ(reference_lcc(CSRGraph::from_edges(e)).global_triangles,
+            reference_lcc(CSRGraph::from_edges(loaded)).global_triangles);
+  std::remove(path.c_str());
+}
+
+TEST(Io, TextSkipsComments) {
+  const std::string path = ::testing::TempDir() + "atlc_comments.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "# comment\n%% another\n0 1\n1 2\n2 0\n");
+  std::fclose(f);
+  const EdgeList e = load_text_edges(path, Directedness::Undirected);
+  EXPECT_EQ(e.num_vertices(), 3u);
+  EXPECT_EQ(reference_lcc(CSRGraph::from_edges(e)).global_triangles, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Io, BinaryRoundTripExact) {
+  auto e = generate_rmat({.scale = 6, .edge_factor = 4, .seed = 8,
+                          .directedness = Directedness::Directed});
+  const std::string path = ::testing::TempDir() + "atlc_bin_edges.bin";
+  save_binary_edges(e, path);
+  const EdgeList loaded = load_binary_edges(path);
+  EXPECT_EQ(loaded.num_vertices(), e.num_vertices());
+  EXPECT_EQ(loaded.edges(), e.edges());
+  EXPECT_EQ(loaded.directedness(), Directedness::Directed);
+  std::remove(path.c_str());
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW((void)load_text_edges("/nonexistent/path.txt",
+                                     Directedness::Undirected),
+               std::runtime_error);
+  EXPECT_THROW((void)load_binary_edges("/nonexistent/path.bin"),
+               std::runtime_error);
+}
+
+// ------------------------------------------------------------ partition ---
+
+class PartitionProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, PartitionKind>> {};
+
+TEST_P(PartitionProperty, CoversAllVerticesDisjointly) {
+  const auto [n, p, kind] = GetParam();
+  const Partition part(kind, static_cast<VertexId>(n),
+                       static_cast<std::uint32_t>(p));
+  std::vector<int> owner_count(n, 0);
+  VertexId total = 0;
+  for (std::uint32_t r = 0; r < part.num_ranks(); ++r) {
+    total += part.part_size(r);
+    for (VertexId l = 0; l < part.part_size(r); ++l) {
+      const VertexId v = part.global_id(r, l);
+      ASSERT_LT(v, static_cast<VertexId>(n));
+      ++owner_count[v];
+      EXPECT_EQ(part.owner(v), r);
+      EXPECT_EQ(part.local_index(v), l);
+    }
+  }
+  EXPECT_EQ(total, static_cast<VertexId>(n));
+  for (int c : owner_count) EXPECT_EQ(c, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionProperty,
+    ::testing::Combine(::testing::Values(1, 7, 64, 100, 1023),
+                       ::testing::Values(1, 2, 5, 8, 16),
+                       ::testing::Values(PartitionKind::Block1D,
+                                         PartitionKind::Cyclic1D)));
+
+TEST(Partition, BlockSizesDifferByAtMostOne) {
+  const Partition part(PartitionKind::Block1D, 10, 4);
+  VertexId mn = 10, mx = 0;
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    mn = std::min(mn, part.part_size(r));
+    mx = std::max(mx, part.part_size(r));
+  }
+  EXPECT_LE(mx - mn, 1u);
+}
+
+TEST(Partition, CyclicSpreadsConsecutiveVertices) {
+  const Partition part(PartitionKind::Cyclic1D, 100, 4);
+  EXPECT_EQ(part.owner(0), 0u);
+  EXPECT_EQ(part.owner(1), 1u);
+  EXPECT_EQ(part.owner(4), 0u);
+}
+
+// ----------------------------------------------------------- references ---
+
+TEST(Reference, PaperExampleTriangles) {
+  // Fig. 1 graph: triangles {0,1,2}, {2,3,4}, {3,4,5}.
+  const CSRGraph g = CSRGraph::from_edges(paper_example());
+  const LccResult r = reference_lcc(g);
+  EXPECT_EQ(r.global_triangles, 3u);
+  // Vertex 2 (degree 4) participates in 2 triangles:
+  // t = 2*tri = 4; LCC = 4 / (4*3) = 1/3.
+  EXPECT_DOUBLE_EQ(r.lcc[2], 1.0 / 3.0);
+  // Vertex 0 (degree 2) in 1 triangle: LCC = 2/(2*1) = 1.
+  EXPECT_DOUBLE_EQ(r.lcc[0], 1.0);
+}
+
+TEST(Reference, CompleteGraphLccIsOne) {
+  const CSRGraph g = CSRGraph::from_edges(complete(6));
+  const LccResult r = reference_lcc(g);
+  EXPECT_EQ(r.global_triangles, 20u);  // C(6,3)
+  for (double c : r.lcc) EXPECT_DOUBLE_EQ(c, 1.0);
+}
+
+TEST(Reference, TriangleFreeGraphScoresZero) {
+  // Star graph: no triangles.
+  EdgeList e(5, {}, Directedness::Undirected);
+  for (VertexId v = 1; v < 5; ++v) {
+    e.add_edge(0, v);
+    e.add_edge(v, 0);
+  }
+  const LccResult r = reference_lcc(CSRGraph::from_edges(e));
+  EXPECT_EQ(r.global_triangles, 0u);
+  for (double c : r.lcc) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(Reference, NaiveAgreesOnRandomGraphs) {
+  for (std::uint64_t seed : {1, 2, 3}) {
+    auto e = generate_rmat({.scale = 7, .edge_factor = 6, .seed = seed});
+    clean(e);
+    const CSRGraph g = CSRGraph::from_edges(e);
+    const LccResult fast = reference_lcc(g);
+    const LccResult naive = naive_lcc(g);
+    EXPECT_EQ(fast.global_triangles, naive.global_triangles);
+    EXPECT_EQ(fast.triangles, naive.triangles);
+  }
+}
+
+TEST(Reference, DirectedTransitiveTriad) {
+  // 0->1, 0->2, 1->2: one transitive triad with apex 0.
+  EdgeList e(3, {{0, 1}, {0, 2}, {1, 2}}, Directedness::Directed);
+  const CSRGraph g = CSRGraph::from_edges(e);
+  const LccResult r = reference_lcc(g);
+  EXPECT_EQ(r.global_triangles, 1u);
+  // Apex 0: deg+ = 2, t = 1, LCC = 1/(2*1) = 0.5 (paper Eq. 1).
+  EXPECT_DOUBLE_EQ(r.lcc[0], 0.5);
+  EXPECT_DOUBLE_EQ(r.lcc[1], 0.0);
+}
+
+TEST(Reference, DirectedCycleHasNoTransitiveTriad) {
+  EdgeList e(3, {{0, 1}, {1, 2}, {2, 0}}, Directedness::Directed);
+  const CSRGraph g = CSRGraph::from_edges(e);
+  EXPECT_EQ(reference_lcc(g).global_triangles, 0u);
+}
+
+TEST(LccScore, DegreeBelowTwoIsZero) {
+  EXPECT_DOUBLE_EQ(lcc_score(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(lcc_score(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(lcc_score(2, 2), 1.0);
+}
+
+// ---------------------------------------------------------- degree stats ---
+
+TEST(DegreeStats, UniformVsPowerLawGini) {
+  const CSRGraph k = CSRGraph::from_edges(complete(8));
+  const auto s = degree_stats(k);
+  EXPECT_NEAR(s.gini, 0.0, 1e-9);  // all degrees equal
+  EXPECT_EQ(s.min, 7u);
+  EXPECT_EQ(s.max, 7u);
+}
+
+TEST(DegreeStats, TopDegreeShareConcentratesOnHubs) {
+  auto e = generate_rmat({.scale = 10, .edge_factor = 8, .seed = 4});
+  clean(e);
+  const CSRGraph g = CSRGraph::from_edges(e);
+  // Weight each vertex by its degree: the top-10% must hold well over 10%.
+  std::vector<std::uint64_t> w(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) w[v] = g.degree(v);
+  EXPECT_GT(top_degree_share(g, w, 0.10), 0.3);
+}
+
+TEST(DegreeStats, ReciprocityOfUndirectedIsOne) {
+  const CSRGraph g = CSRGraph::from_edges(paper_example());
+  EXPECT_DOUBLE_EQ(reciprocity(g), 1.0);
+}
+
+TEST(DegreeStats, ReciprocityDirected) {
+  EdgeList e(3, {{0, 1}, {1, 0}, {1, 2}}, Directedness::Directed);
+  const CSRGraph g = CSRGraph::from_edges(e);
+  EXPECT_NEAR(reciprocity(g), 2.0 / 3.0, 1e-12);
+}
+
+TEST(DegreeStats, VerticesByDegreeDescSorted) {
+  auto e = generate_rmat({.scale = 8, .edge_factor = 4, .seed = 6});
+  clean(e);
+  const CSRGraph g = CSRGraph::from_edges(e);
+  const auto order = vertices_by_degree_desc(g);
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_GE(g.degree(order[i - 1]), g.degree(order[i]));
+}
+
+}  // namespace
+}  // namespace atlc::graph

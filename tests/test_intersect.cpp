@@ -1,0 +1,237 @@
+// Unit + property tests for the intersection kernels (paper Algorithms 1-2,
+// Eq. 3 hybrid rule, Section III-C parallel variants).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "atlc/intersect/cost_model.hpp"
+#include "atlc/intersect/intersect.hpp"
+#include "atlc/intersect/parallel.hpp"
+#include "atlc/util/rng.hpp"
+
+namespace atlc::intersect {
+namespace {
+
+using V = std::vector<VertexId>;
+
+std::uint64_t std_count(const V& a, const V& b) {
+  V out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out.size();
+}
+
+V random_sorted_unique(std::size_t len, VertexId universe, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  V v;
+  v.reserve(len);
+  for (std::size_t i = 0; i < len * 2 && v.size() < len; ++i)
+    v.push_back(static_cast<VertexId>(rng.next_below(universe)));
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+// ------------------------------------------------------- basic behaviour ---
+
+TEST(Intersect, EmptyInputs) {
+  const V a{}, b{1, 2, 3};
+  EXPECT_EQ(count_binary(a, b), 0u);
+  EXPECT_EQ(count_ssi(a, b), 0u);
+  EXPECT_EQ(count_hybrid(a, b), 0u);
+  EXPECT_EQ(count_binary(b, a), 0u);
+  EXPECT_EQ(count_ssi(b, a), 0u);
+}
+
+TEST(Intersect, IdenticalLists) {
+  const V a{1, 5, 9, 12};
+  EXPECT_EQ(count_binary(a, a), 4u);
+  EXPECT_EQ(count_ssi(a, a), 4u);
+  EXPECT_EQ(count_hybrid(a, a), 4u);
+}
+
+TEST(Intersect, DisjointLists) {
+  const V a{1, 3, 5}, b{2, 4, 6};
+  EXPECT_EQ(count_binary(a, b), 0u);
+  EXPECT_EQ(count_ssi(a, b), 0u);
+}
+
+TEST(Intersect, PartialOverlap) {
+  const V a{1, 2, 3, 7, 9}, b{2, 3, 4, 9, 11};
+  EXPECT_EQ(count_binary(a, b), 3u);
+  EXPECT_EQ(count_ssi(a, b), 3u);
+  EXPECT_EQ(count_hybrid(a, b), 3u);
+}
+
+TEST(Intersect, SingleElement) {
+  const V a{5}, b{1, 5, 10};
+  EXPECT_EQ(count_binary(a, b), 1u);
+  EXPECT_EQ(count_ssi(a, b), 1u);
+}
+
+TEST(Intersect, SymmetricArguments) {
+  const V a{1, 2, 3, 4, 50, 60, 70}, b{2, 4, 60};
+  EXPECT_EQ(count_binary(a, b), count_binary(b, a));
+  EXPECT_EQ(count_ssi(a, b), count_ssi(b, a));
+  EXPECT_EQ(count_hybrid(a, b), count_hybrid(b, a));
+}
+
+// ----------------------------------------------------------- Eq. 3 rule ---
+
+TEST(HybridRule, PrefersSsiForBalancedLists) {
+  // |B|/|A| = 1 <= log2(1024) - 1 = 9.
+  EXPECT_TRUE(prefer_ssi(1024, 1024));
+}
+
+TEST(HybridRule, PrefersBinaryForSkewedLists) {
+  // |B|/|A| = 1024 > log2(65536) - 1 = 15.
+  EXPECT_FALSE(prefer_ssi(64, 65536));
+}
+
+TEST(HybridRule, OrderInsensitive) {
+  EXPECT_EQ(prefer_ssi(10, 10000), prefer_ssi(10000, 10));
+}
+
+TEST(HybridRule, EmptyIsCheapEitherWay) { EXPECT_TRUE(prefer_ssi(0, 100)); }
+
+// ----------------------------------------------------- upper-triangle op ---
+
+TEST(SuffixAbove, TrimsInclusive) {
+  const V a{1, 3, 5, 7};
+  const auto s = suffix_above(a, 3);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], 5u);
+  EXPECT_EQ(s[1], 7u);
+}
+
+TEST(SuffixAbove, FloorBelowAll) {
+  const V a{4, 5};
+  EXPECT_EQ(suffix_above(a, 0).size(), 2u);
+}
+
+TEST(SuffixAbove, FloorAboveAll) {
+  const V a{4, 5};
+  EXPECT_TRUE(suffix_above(a, 9).empty());
+}
+
+TEST(CountCommonAbove, MatchesManualFilter) {
+  const V a{1, 2, 5, 8, 12}, b{2, 5, 9, 12};
+  // Common elements: 2, 5, 12. Above floor 4: 5 and 12.
+  EXPECT_EQ(count_common_above(a, b, 4), 2u);
+  EXPECT_EQ(count_common_above(a, b, 12), 0u);
+  EXPECT_EQ(count_common_above(a, b, 0), 3u);
+}
+
+// ------------------------------------------------------- property sweeps ---
+
+struct PropertyCase {
+  std::size_t len_a, len_b;
+  VertexId universe;
+};
+
+class IntersectProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(IntersectProperty, AllKernelsMatchStdSetIntersection) {
+  const auto p = GetParam();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const V a = random_sorted_unique(p.len_a, p.universe, seed);
+    const V b = random_sorted_unique(p.len_b, p.universe, seed * 131);
+    const std::uint64_t expected = std_count(a, b);
+    EXPECT_EQ(count_binary(a, b), expected) << "seed " << seed;
+    EXPECT_EQ(count_ssi(a, b), expected) << "seed " << seed;
+    EXPECT_EQ(count_hybrid(a, b), expected) << "seed " << seed;
+    EXPECT_EQ(count_binary_parallel(a, b), expected) << "seed " << seed;
+    EXPECT_EQ(count_ssi_parallel(a, b), expected) << "seed " << seed;
+    EXPECT_EQ(count_hybrid_parallel(a, b), expected) << "seed " << seed;
+  }
+}
+
+TEST_P(IntersectProperty, UpperTriangleMatchesFilteredStd) {
+  const auto p = GetParam();
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const V a = random_sorted_unique(p.len_a, p.universe, seed);
+    const V b = random_sorted_unique(p.len_b, p.universe, seed * 977);
+    V common;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(common));
+    const VertexId floor = p.universe / 2;
+    const auto expected = static_cast<std::uint64_t>(std::count_if(
+        common.begin(), common.end(), [&](VertexId v) { return v > floor; }));
+    EXPECT_EQ(count_common_above(a, b, floor), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, IntersectProperty,
+    ::testing::Values(PropertyCase{0, 10, 100}, PropertyCase{1, 1, 4},
+                      PropertyCase{10, 10, 30}, PropertyCase{100, 100, 150},
+                      PropertyCase{5, 1000, 2000},
+                      PropertyCase{1000, 5, 2000},
+                      PropertyCase{500, 500, 600},
+                      PropertyCase{2048, 8192, 20000},
+                      PropertyCase{10000, 100, 50000}));
+
+// -------------------------------------------------------------- parallel ---
+
+TEST(Parallel, CutoffFallsBackToSequentialResult) {
+  const V a = random_sorted_unique(100, 500, 3);
+  const V b = random_sorted_unique(100, 500, 4);
+  ParallelConfig big_cutoff{.num_threads = 4, .cutoff = 1u << 20};
+  EXPECT_EQ(count_ssi_parallel(a, b, big_cutoff), std_count(a, b));
+  EXPECT_EQ(count_binary_parallel(a, b, big_cutoff), std_count(a, b));
+}
+
+TEST(Parallel, ThreadCountsAgree) {
+  const V a = random_sorted_unique(5000, 20000, 5);
+  const V b = random_sorted_unique(8000, 20000, 6);
+  const std::uint64_t expected = std_count(a, b);
+  for (int threads : {1, 2, 3, 4}) {
+    ParallelConfig cfg{.num_threads = threads, .cutoff = 0};
+    EXPECT_EQ(count_ssi_parallel(a, b, cfg), expected) << threads;
+    EXPECT_EQ(count_binary_parallel(a, b, cfg), expected) << threads;
+  }
+}
+
+TEST(Parallel, DispatchMatchesMethods) {
+  const V a = random_sorted_unique(3000, 9000, 7);
+  const V b = random_sorted_unique(3000, 9000, 8);
+  const std::uint64_t expected = std_count(a, b);
+  for (auto m : {Method::Binary, Method::SSI, Method::Hybrid}) {
+    EXPECT_EQ(count_common(a, b, m), expected);
+    EXPECT_EQ(count_common_parallel(a, b, m, {}), expected);
+  }
+}
+
+// ------------------------------------------------------------ cost model ---
+
+TEST(CostModel, MonotoneInWork) {
+  const CostModel m;
+  EXPECT_LT(m.seconds(Method::SSI, 10, 10), m.seconds(Method::SSI, 1000, 1000));
+  EXPECT_LT(m.seconds(Method::Binary, 10, 1000),
+            m.seconds(Method::Binary, 100, 1000));
+}
+
+TEST(CostModel, HybridPricesChosenKernel) {
+  const CostModel m;
+  // Balanced lists: hybrid == SSI price. Skewed: hybrid == binary price.
+  EXPECT_DOUBLE_EQ(m.seconds(Method::Hybrid, 1000, 1000),
+                   m.seconds(Method::SSI, 1000, 1000));
+  EXPECT_DOUBLE_EQ(m.seconds(Method::Hybrid, 4, 1 << 20),
+                   m.seconds(Method::Binary, 4, 1 << 20));
+}
+
+TEST(CostModel, CalibrationProducesPositiveConstants) {
+  const CostModel m = CostModel::calibrate();
+  EXPECT_GT(m.ssi_ns_per_elem, 0.0);
+  EXPECT_GT(m.binary_ns_per_probe, 0.0);
+}
+
+TEST(MethodName, AllNamed) {
+  EXPECT_STREQ(method_name(Method::Binary), "binary");
+  EXPECT_STREQ(method_name(Method::SSI), "ssi");
+  EXPECT_STREQ(method_name(Method::Hybrid), "hybrid");
+}
+
+}  // namespace
+}  // namespace atlc::intersect

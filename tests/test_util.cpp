@@ -1,0 +1,261 @@
+// Unit tests for atlc::util — statistics, RNG, recorder, CLI, table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "atlc/util/cli.hpp"
+#include "atlc/util/recorder.hpp"
+#include "atlc/util/rng.hpp"
+#include "atlc/util/stats.hpp"
+#include "atlc/util/table.hpp"
+#include "atlc/util/timer.hpp"
+
+namespace atlc::util {
+namespace {
+
+// ---------------------------------------------------------------- stats ---
+
+TEST(Stats, MedianOdd) {
+  const std::vector<double> s{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(s), 2.0);
+}
+
+TEST(Stats, MedianEven) {
+  const std::vector<double> s{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(s), 2.5);
+}
+
+TEST(Stats, MedianSingle) {
+  const std::vector<double> s{42.0};
+  EXPECT_DOUBLE_EQ(median(s), 42.0);
+}
+
+TEST(Stats, MedianThrowsOnEmpty) {
+  EXPECT_THROW((void)median({}), std::invalid_argument);
+}
+
+TEST(Stats, SummaryBasics) {
+  const std::vector<double> s{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary sum = summarize(s);
+  EXPECT_EQ(sum.n, 5u);
+  EXPECT_DOUBLE_EQ(sum.min, 1.0);
+  EXPECT_DOUBLE_EQ(sum.max, 5.0);
+  EXPECT_DOUBLE_EQ(sum.mean, 3.0);
+  EXPECT_DOUBLE_EQ(sum.median, 3.0);
+  EXPECT_NEAR(sum.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> s{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(s, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 50.0), 25.0);
+}
+
+TEST(Stats, PercentileRejectsBadP) {
+  const std::vector<double> s{1.0};
+  EXPECT_THROW((void)percentile(s, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile(s, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, CiCoversMedianForStableSample) {
+  std::vector<double> s(100, 5.0);
+  const Summary sum = summarize(s);
+  EXPECT_LE(sum.ci95_lo, sum.median);
+  EXPECT_GE(sum.ci95_hi, sum.median);
+  EXPECT_TRUE(sum.ci_within_fraction_of_median(0.05));
+}
+
+TEST(Stats, CiWideForNoisySample) {
+  // Alternate tiny/huge values: the median CI cannot be tight.
+  std::vector<double> s;
+  for (int i = 0; i < 20; ++i) s.push_back(i % 2 ? 1.0 : 100.0);
+  const Summary sum = summarize(s);
+  EXPECT_FALSE(sum.ci_within_fraction_of_median(0.05));
+}
+
+TEST(Stats, HistogramCountsAllSamples) {
+  const std::vector<double> s{0.0, 0.1, 0.5, 0.9, 1.0};
+  const Histogram h = histogram(s, 2);
+  std::size_t total = 0;
+  for (auto c : h.counts) total += c;
+  EXPECT_EQ(total, s.size());
+  EXPECT_DOUBLE_EQ(h.lo, 0.0);
+  EXPECT_DOUBLE_EQ(h.hi, 1.0);
+}
+
+TEST(Stats, HistogramMaxValueInLastBucket) {
+  const std::vector<double> s{0.0, 1.0};
+  const Histogram h = histogram(s, 4);
+  EXPECT_EQ(h.counts.front(), 1u);
+  EXPECT_EQ(h.counts.back(), 1u);
+}
+
+// ------------------------------------------------------------------ rng ---
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Xoshiro256 rng(1);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 1000; ++i) ++seen[rng.next_below(8)];
+  for (int c : seen) EXPECT_GT(c, 0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Xoshiro256 rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.next_bool(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(1, 2), mix64(1, 2));
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_NE(mix64(1), mix64(2));
+}
+
+// ------------------------------------------------------------- recorder ---
+
+TEST(Recorder, StopsAfterConvergence) {
+  Recorder rec({.min_reps = 5, .max_reps = 50, .ci_fraction = 0.5});
+  const Summary s = rec.run_until_ci([] {});
+  EXPECT_GE(s.n, 5u);
+  EXPECT_LE(s.n, 50u);
+}
+
+TEST(Recorder, HonorsMaxReps) {
+  // A deliberately noisy target can never converge; the cap must bite.
+  Recorder rec({.min_reps = 3, .max_reps = 7, .ci_fraction = 1e-9});
+  int calls = 0;
+  (void)rec.run_until_ci([&] {
+    volatile double x = 0;
+    for (int i = 0; i < (calls % 2 ? 100000 : 10); ++i) x += i;
+    ++calls;
+  });
+  EXPECT_EQ(rec.samples().size(), 7u);
+}
+
+TEST(Recorder, ExternalSamples) {
+  Recorder rec({.min_reps = 3, .max_reps = 10, .ci_fraction = 0.05});
+  for (int i = 0; i < 8; ++i) rec.add_sample(1.0);
+  EXPECT_TRUE(rec.converged());
+  EXPECT_DOUBLE_EQ(rec.summary().median, 1.0);
+}
+
+// ------------------------------------------------------------------ cli ---
+
+TEST(Cli, DefaultsSurviveEmptyArgv) {
+  Cli cli("prog", "test");
+  cli.add_int("n", "count", 42);
+  cli.add_flag("verbose", "chatty", false);
+  cli.add_double("x", "factor", 1.5);
+  cli.add_string("name", "label", "abc");
+  char prog[] = "prog";
+  char* argv[] = {prog};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("n"), 42);
+  EXPECT_FALSE(cli.get_flag("verbose"));
+  EXPECT_DOUBLE_EQ(cli.get_double("x"), 1.5);
+  EXPECT_EQ(cli.get_string("name"), "abc");
+}
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  Cli cli("prog", "test");
+  cli.add_int("n", "count", 0);
+  cli.add_string("s", "str", "");
+  char a0[] = "prog", a1[] = "--n=7", a2[] = "--s", a3[] = "hello";
+  char* argv[] = {a0, a1, a2, a3};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_EQ(cli.get_int("n"), 7);
+  EXPECT_EQ(cli.get_string("s"), "hello");
+}
+
+TEST(Cli, BareFlagSetsTrue) {
+  Cli cli("prog", "test");
+  cli.add_flag("fast", "speedy", false);
+  char a0[] = "prog", a1[] = "--fast";
+  char* argv[] = {a0, a1};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_flag("fast"));
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  Cli cli("prog", "test");
+  char a0[] = "prog", a1[] = "--bogus=1";
+  char* argv[] = {a0, a1};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli("prog", "test");
+  char a0[] = "prog", a1[] = "--help";
+  char* argv[] = {a0, a1};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, ThrowsOnUnregisteredLookup) {
+  Cli cli("prog", "test");
+  EXPECT_THROW((void)cli.get_int("nope"), std::logic_error);
+}
+
+// ---------------------------------------------------------------- table ---
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"graph", "time"});
+  t.add_row({"orkut", "1.5"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("graph"), std::string::npos);
+  EXPECT_NE(s.find("orkut"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt_int(12345), "12345");
+  EXPECT_EQ(Table::fmt_bytes(2048), "2.0 KiB");
+  EXPECT_EQ(Table::fmt_percent(0.5, 0), "50%");
+}
+
+// ---------------------------------------------------------------- timer ---
+
+TEST(Timer, MeasuresSomethingPositive) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 10000; ++i) x += i;
+  EXPECT_GT(t.elapsed_ns(), 0u);
+  EXPECT_GE(t.elapsed_us(), 0.0);
+}
+
+}  // namespace
+}  // namespace atlc::util
