@@ -67,8 +67,7 @@ class Xoshiro256 {
   /// the modulo bias is negligible for the bounds used in this project
   /// (graph sizes << 2^64).
   std::uint64_t next_below(std::uint64_t bound) {
-    return static_cast<std::uint64_t>(
-        (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+    return mulhi64(operator()(), bound);
   }
 
   /// Uniform double in [0, 1).
@@ -82,6 +81,23 @@ class Xoshiro256 {
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
+  }
+
+  /// High 64 bits of a 64x64 multiply. The portable 32-bit-halves fallback
+  /// computes the exact same value as __int128, so the random stream is
+  /// byte-identical across compilers (seed reproducibility is a project
+  /// guarantee).
+  static std::uint64_t mulhi64(std::uint64_t a, std::uint64_t b) {
+#if defined(__SIZEOF_INT128__)
+    __extension__ using uint128 = unsigned __int128;
+    return static_cast<std::uint64_t>((static_cast<uint128>(a) * b) >> 64);
+#else
+    const std::uint64_t a_lo = a & 0xffffffffULL, a_hi = a >> 32;
+    const std::uint64_t b_lo = b & 0xffffffffULL, b_hi = b >> 32;
+    const std::uint64_t mid = a_hi * b_lo + ((a_lo * b_lo) >> 32);
+    const std::uint64_t mid2 = a_lo * b_hi + (mid & 0xffffffffULL);
+    return a_hi * b_hi + (mid >> 32) + (mid2 >> 32);
+#endif
   }
 
   std::uint64_t state_[4];

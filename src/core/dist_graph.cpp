@@ -11,8 +11,7 @@ DistGraph build_dist_graph(rma::RankCtx& ctx, const CSRGraph& global,
   ATLC_CHECK(partition.num_vertices() == global.num_vertices(),
              "partition vertex count must match graph");
 
-  DistGraph dg{partition};
-  dg.directedness = global.directedness();
+  DistGraph dg{partition, global.directedness(), {}, {}, {}, {}};
 
   const VertexId n_local = partition.part_size(ctx.rank());
   dg.offsets.reserve(static_cast<std::size_t>(n_local) + 1);

@@ -45,13 +45,13 @@ CostModel CostModel::calibrate() {
   volatile std::uint64_t sink = 0;  // defeat dead-code elimination
 
   util::Timer t;
-  for (std::size_t r = 0; r < kReps; ++r) sink += count_ssi(a, b);
+  for (std::size_t r = 0; r < kReps; ++r) sink = sink + count_ssi(a, b);
   const double ssi_s = t.elapsed_s();
   m.ssi_ns_per_elem =
       std::max(0.05, ssi_s * 1e9 / (kReps * static_cast<double>(kA + kB)));
 
   t.reset();
-  for (std::size_t r = 0; r < kReps; ++r) sink += count_binary(a, b);
+  for (std::size_t r = 0; r < kReps; ++r) sink = sink + count_binary(a, b);
   const double bin_s = t.elapsed_s();
   const double log_b = static_cast<double>(std::bit_width(kB));
   m.binary_ns_per_probe =

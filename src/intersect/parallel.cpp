@@ -1,6 +1,16 @@
 #include "atlc/intersect/parallel.hpp"
 
+#if !defined(ATLC_NO_OPENMP) && defined(_OPENMP)
 #include <omp.h>
+#else
+// No OpenMP: the pragmas below are ignored and these shims make the
+// chunking collapse to a single full-range chunk (sequential execution).
+namespace {
+inline int omp_get_max_threads() { return 1; }
+inline int omp_get_num_threads() { return 1; }
+inline int omp_get_thread_num() { return 0; }
+}  // namespace
+#endif
 
 #include <algorithm>
 
@@ -30,9 +40,11 @@ std::uint64_t count_binary_parallel(std::span<const VertexId> a,
   std::uint64_t total = 0;
   // Chunk the shorter (keys) array across threads; each thread searches its
   // keys in the full longer list.
+#if !defined(ATLC_NO_OPENMP) && defined(_OPENMP)
 #pragma omp parallel num_threads(cfg.num_threads > 0 ? cfg.num_threads \
                                                      : omp_get_max_threads()) \
     reduction(+ : total)
+#endif
   {
     const auto [begin, end] =
         chunk(a.size(), omp_get_num_threads(), omp_get_thread_num());
@@ -52,9 +64,11 @@ std::uint64_t count_ssi_parallel(std::span<const VertexId> a,
   // Chunk the longer array; every thread SSI-merges its chunk against the
   // subrange of the shorter list that can overlap it (narrowed by binary
   // search on the chunk's value range).
+#if !defined(ATLC_NO_OPENMP) && defined(_OPENMP)
 #pragma omp parallel num_threads(cfg.num_threads > 0 ? cfg.num_threads \
                                                      : omp_get_max_threads()) \
     reduction(+ : total)
+#endif
   {
     const auto [begin, end] =
         chunk(b.size(), omp_get_num_threads(), omp_get_thread_num());
@@ -62,7 +76,9 @@ std::uint64_t count_ssi_parallel(std::span<const VertexId> a,
       const auto b_chunk = b.subspan(begin, end - begin);
       const auto lo = std::lower_bound(a.begin(), a.end(), b_chunk.front());
       const auto hi = std::upper_bound(lo, a.end(), b_chunk.back());
-      total += count_ssi({&*lo, static_cast<std::size_t>(hi - lo)}, b_chunk);
+      total += count_ssi(a.subspan(static_cast<std::size_t>(lo - a.begin()),
+                                   static_cast<std::size_t>(hi - lo)),
+                         b_chunk);
     }
   }
   return total;

@@ -11,6 +11,7 @@
 #include "atlc/graph/clean.hpp"
 #include "atlc/graph/generators.hpp"
 #include "atlc/graph/reference.hpp"
+#include "test_support.hpp"
 
 namespace atlc::core {
 namespace {
@@ -18,33 +19,9 @@ namespace {
 using graph::CSRGraph;
 using graph::Directedness;
 using graph::EdgeList;
-
-CSRGraph paper_example() {
-  EdgeList e(6, {}, Directedness::Undirected);
-  for (auto [u, v] : std::initializer_list<std::pair<int, int>>{
-           {0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}, {4, 5}, {3, 5}})
-    e.add_edge(u, v);
-  e.symmetrize();
-  return CSRGraph::from_edges(e);
-}
-
-CSRGraph rmat_graph(unsigned scale, unsigned ef, std::uint64_t seed,
-                    Directedness dir = Directedness::Undirected) {
-  auto e = graph::generate_rmat(
-      {.scale = scale, .edge_factor = ef, .seed = seed, .directedness = dir});
-  graph::clean(e);
-  return CSRGraph::from_edges(e);
-}
-
-void expect_matches_reference(const CSRGraph& g, const RunResult& result) {
-  const auto ref = graph::reference_lcc(g);
-  ASSERT_EQ(result.triangles.size(), ref.triangles.size());
-  for (std::size_t v = 0; v < ref.triangles.size(); ++v) {
-    ASSERT_EQ(result.triangles[v], ref.triangles[v]) << "vertex " << v;
-    ASSERT_DOUBLE_EQ(result.lcc[v], ref.lcc[v]) << "vertex " << v;
-  }
-  EXPECT_EQ(result.global_triangles, ref.global_triangles);
-}
+using testsupport::expect_matches_reference;
+using testsupport::paper_example;
+using testsupport::rmat_graph;
 
 // ------------------------------------------------------------ dist graph ---
 
@@ -180,6 +157,7 @@ TEST(Lcc, CirclesGraphAllModes) {
 }
 
 TEST(Lcc, RejectsUpperTriangleConfig) {
+  testsupport::use_threadsafe_death_tests();
   const CSRGraph g = paper_example();
   EngineConfig cfg;
   cfg.upper_triangle_only = true;

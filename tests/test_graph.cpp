@@ -15,29 +15,16 @@
 #include "atlc/graph/partition.hpp"
 #include "atlc/graph/reference.hpp"
 #include "atlc/graph/relabel.hpp"
+#include "test_support.hpp"
 
 namespace atlc::graph {
 namespace {
 
-/// The paper's running example (Fig. 1 left): 6 vertices, two "communities"
-/// bridged by edges 2-4. Undirected.
-EdgeList paper_example() {
-  EdgeList e(6, {}, Directedness::Undirected);
-  const std::pair<int, int> edges[] = {{0, 1}, {0, 2}, {1, 2}, {2, 3},
-                                       {2, 4}, {3, 4}, {4, 5}, {3, 5}};
-  for (auto [u, v] : edges) e.add_edge(u, v);
-  e.symmetrize();
-  return e;
-}
+using testsupport::complete_edges;
+using testsupport::paper_example_edges;
 
-/// Complete graph K_n.
-EdgeList complete(VertexId n) {
-  EdgeList e(n, {}, Directedness::Undirected);
-  for (VertexId u = 0; u < n; ++u)
-    for (VertexId v = 0; v < n; ++v)
-      if (u != v) e.add_edge(u, v);
-  return e;
-}
+EdgeList paper_example() { return paper_example_edges(); }
+EdgeList complete(VertexId n) { return complete_edges(n); }
 
 // ------------------------------------------------------------- EdgeList ---
 
@@ -122,6 +109,7 @@ TEST(Csr, CsrBytesAccountsBothArrays) {
 }
 
 TEST(Csr, FromRawValidates) {
+  testsupport::use_threadsafe_death_tests();
   EXPECT_DEATH(
       (void)CSRGraph::from_raw(2, {0, 1}, {1, 0}, Directedness::Directed),
       "offsets");

@@ -5,6 +5,7 @@
 // must hold structurally.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <numeric>
 
 #include "atlc/core/lcc.hpp"

@@ -8,6 +8,7 @@
 #include "atlc/graph/generators.hpp"
 #include "atlc/graph/reference.hpp"
 #include "atlc/tric/tric.hpp"
+#include "test_support.hpp"
 
 namespace atlc::tric {
 namespace {
@@ -15,22 +16,8 @@ namespace {
 using graph::CSRGraph;
 using graph::Directedness;
 using graph::EdgeList;
-
-CSRGraph rmat_graph(unsigned scale, unsigned ef, std::uint64_t seed) {
-  auto e = graph::generate_rmat({.scale = scale, .edge_factor = ef,
-                                 .seed = seed});
-  graph::clean(e);
-  return CSRGraph::from_edges(e);
-}
-
-CSRGraph paper_example() {
-  EdgeList e(6, {}, Directedness::Undirected);
-  for (auto [u, v] : std::initializer_list<std::pair<int, int>>{
-           {0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}, {4, 5}, {3, 5}})
-    e.add_edge(u, v);
-  e.symmetrize();
-  return CSRGraph::from_edges(e);
-}
+using testsupport::paper_example;
+using testsupport::rmat_graph;
 
 // ----------------------------------------------------------- correctness ---
 
@@ -161,6 +148,7 @@ TEST(Comparison, QueryVolumeGrowsWithRanks) {
 }
 
 TEST(Tric, RejectsDirectedInput) {
+  testsupport::use_threadsafe_death_tests();
   auto e = graph::generate_rmat({.scale = 6, .edge_factor = 4, .seed = 11,
                                  .directedness = Directedness::Directed});
   graph::clean(e);

@@ -3,6 +3,8 @@
 
 #include <cmath>
 #include <cstring>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "atlc/util/cli.hpp"
@@ -58,6 +60,48 @@ TEST(Stats, PercentileRejectsBadP) {
   const std::vector<double> s{1.0};
   EXPECT_THROW((void)percentile(s, -1.0), std::invalid_argument);
   EXPECT_THROW((void)percentile(s, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, QuantileFunctionsRejectEmptySample) {
+  EXPECT_THROW((void)percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW((void)median_ci95({}), std::invalid_argument);
+  EXPECT_THROW((void)summarize({}), std::invalid_argument);
+}
+
+TEST(Stats, PercentileSingleElementIsConstant) {
+  const std::vector<double> s{7.5};
+  for (double p : {0.0, 25.0, 50.0, 99.9, 100.0})
+    EXPECT_DOUBLE_EQ(percentile(s, p), 7.5) << "p=" << p;
+}
+
+TEST(Stats, MedianCiSmallSampleSpansRange) {
+  // Fewer than 6 samples: the order-statistic bounds degrade to [min, max].
+  const std::vector<double> s{3.0, 1.0, 2.0};
+  const auto [lo, hi] = median_ci95(s);
+  EXPECT_DOUBLE_EQ(lo, 1.0);
+  EXPECT_DOUBLE_EQ(hi, 3.0);
+}
+
+TEST(Stats, SummarySingleElement) {
+  const Summary sum = summarize(std::vector<double>{4.0});
+  EXPECT_EQ(sum.n, 1u);
+  EXPECT_DOUBLE_EQ(sum.median, 4.0);
+  EXPECT_DOUBLE_EQ(sum.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(sum.ci95_lo, 4.0);
+  EXPECT_DOUBLE_EQ(sum.ci95_hi, 4.0);
+}
+
+TEST(Stats, HistogramRejectsEmptyOrZeroBins) {
+  EXPECT_THROW((void)histogram({}, 4), std::invalid_argument);
+  EXPECT_THROW((void)histogram(std::vector<double>{1.0}, 0),
+               std::invalid_argument);
+}
+
+TEST(Stats, HistogramConstantSampleFillsFirstBucket) {
+  const std::vector<double> s{2.0, 2.0, 2.0};
+  const Histogram h = histogram(s, 4);
+  EXPECT_EQ(h.counts[0], 3u);
+  for (std::size_t b = 1; b < h.counts.size(); ++b) EXPECT_EQ(h.counts[b], 0u);
 }
 
 TEST(Stats, CiCoversMedianForStableSample) {
@@ -162,6 +206,21 @@ TEST(Recorder, HonorsMaxReps) {
   EXPECT_EQ(rec.samples().size(), 7u);
 }
 
+TEST(Recorder, NotConvergedBeforeMinReps) {
+  Recorder rec({.min_reps = 5, .max_reps = 10, .ci_fraction = 0.5});
+  rec.add_sample(1.0);
+  rec.add_sample(1.0);
+  EXPECT_FALSE(rec.converged());
+}
+
+TEST(Recorder, ClearResetsSamples) {
+  Recorder rec;
+  rec.add_sample(1.0);
+  rec.clear();
+  EXPECT_TRUE(rec.samples().empty());
+  EXPECT_THROW((void)rec.summary(), std::invalid_argument);
+}
+
 TEST(Recorder, ExternalSamples) {
   Recorder rec({.min_reps = 3, .max_reps = 10, .ci_fraction = 0.05});
   for (int i = 0; i < 8; ++i) rec.add_sample(1.0);
@@ -225,6 +284,65 @@ TEST(Cli, ThrowsOnUnregisteredLookup) {
   EXPECT_THROW((void)cli.get_int("nope"), std::logic_error);
 }
 
+TEST(Cli, RejectsMissingValueAtEndOfArgv) {
+  Cli cli("prog", "test");
+  cli.add_int("n", "count", 0);
+  char a0[] = "prog", a1[] = "--n";
+  char* argv[] = {a0, a1};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, RejectsPositionalArgument) {
+  Cli cli("prog", "test");
+  cli.add_int("n", "count", 0);
+  char a0[] = "prog", a1[] = "stray";
+  char* argv[] = {a0, a1};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, ShortHelpAlsoReturnsFalse) {
+  Cli cli("prog", "test");
+  char a0[] = "prog", a1[] = "-h";
+  char* argv[] = {a0, a1};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, ThrowsOnWrongTypeLookup) {
+  Cli cli("prog", "test");
+  cli.add_int("n", "count", 1);
+  EXPECT_THROW((void)cli.get_flag("n"), std::logic_error);
+  EXPECT_THROW((void)cli.get_string("n"), std::logic_error);
+}
+
+TEST(Cli, FlagAcceptsExplicitFalse) {
+  Cli cli("prog", "test");
+  cli.add_flag("fast", "speedy", true);
+  char a0[] = "prog", a1[] = "--fast=0";
+  char* argv[] = {a0, a1};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_FALSE(cli.get_flag("fast"));
+}
+
+TEST(Cli, LaterFlagWins) {
+  Cli cli("prog", "test");
+  cli.add_int("n", "count", 0);
+  char a0[] = "prog", a1[] = "--n=1", a2[] = "--n=2";
+  char* argv[] = {a0, a1, a2};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("n"), 2);
+}
+
+TEST(Cli, NegativeIntAndDoubleValues) {
+  Cli cli("prog", "test");
+  cli.add_int("n", "count", 0);
+  cli.add_double("x", "factor", 0.0);
+  char a0[] = "prog", a1[] = "--n=-12", a2[] = "--x=-0.25";
+  char* argv[] = {a0, a1, a2};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("n"), -12);
+  EXPECT_DOUBLE_EQ(cli.get_double("x"), -0.25);
+}
+
 // ---------------------------------------------------------------- table ---
 
 TEST(Table, RendersHeaderAndRows) {
@@ -245,6 +363,57 @@ TEST(Table, Formatters) {
   EXPECT_EQ(Table::fmt_int(12345), "12345");
   EXPECT_EQ(Table::fmt_bytes(2048), "2.0 KiB");
   EXPECT_EQ(Table::fmt_percent(0.5, 0), "50%");
+}
+
+TEST(Table, FmtBytesUnitBoundaries) {
+  EXPECT_EQ(Table::fmt_bytes(0), "0.0 B");
+  EXPECT_EQ(Table::fmt_bytes(1023), "1023.0 B");
+  EXPECT_EQ(Table::fmt_bytes(1024), "1.0 KiB");
+  EXPECT_EQ(Table::fmt_bytes(1ull << 20), "1.0 MiB");
+  EXPECT_EQ(Table::fmt_bytes(1ull << 30), "1.0 GiB");
+  EXPECT_EQ(Table::fmt_bytes(1ull << 40), "1.0 TiB");
+  // No PiB unit: huge values stay in TiB rather than indexing off the end.
+  EXPECT_EQ(Table::fmt_bytes(1ull << 50), "1024.0 TiB");
+}
+
+/// Split a rendered table line "| a  | b |" back into trimmed cells.
+std::vector<std::string> parse_table_row(const std::string& line) {
+  std::vector<std::string> cells;
+  std::size_t pos = line.find('|');
+  while (pos != std::string::npos) {
+    const std::size_t next = line.find('|', pos + 1);
+    if (next == std::string::npos) break;
+    std::string cell = line.substr(pos + 1, next - pos - 1);
+    const auto first = cell.find_first_not_of(' ');
+    if (first == std::string::npos) {
+      cells.emplace_back();
+    } else {
+      cells.push_back(cell.substr(first, cell.find_last_not_of(' ') - first + 1));
+    }
+    pos = next;
+  }
+  return cells;
+}
+
+TEST(Table, RenderedCellsRoundTrip) {
+  // Formatted values survive the render: parsing the aligned text back
+  // yields exactly the strings that were added.
+  const std::vector<std::string> header{"graph", "bytes", "hit"};
+  const std::vector<std::vector<std::string>> rows{
+      {"orkut", Table::fmt_bytes(3ull << 20), Table::fmt_percent(0.875, 1)},
+      {"rmat-22", Table::fmt_int(1u << 22), Table::fmt(0.333333, 3)},
+  };
+  Table t(header);
+  for (const auto& r : rows) t.add_row(r);
+
+  std::vector<std::vector<std::string>> parsed;
+  std::istringstream in(t.to_string());
+  for (std::string line; std::getline(in, line);)
+    if (!line.empty() && line.front() == '|') parsed.push_back(parse_table_row(line));
+
+  ASSERT_EQ(parsed.size(), 1 + rows.size());
+  EXPECT_EQ(parsed[0], header);
+  for (std::size_t r = 0; r < rows.size(); ++r) EXPECT_EQ(parsed[r + 1], rows[r]);
 }
 
 // ---------------------------------------------------------------- timer ---
