@@ -1,13 +1,17 @@
 #pragma once
 
-// Shared helpers for the per-figure bench binaries.
+// Shared helpers for the atlc_bench scenarios (see scenario.hpp for the
+// registry).
 //
-// Every binary runs WITHOUT arguments using proxy graphs scaled to fit a
+// Every scenario runs WITHOUT arguments using proxy graphs scaled to fit a
 // small container (see DESIGN.md section 1 for the proxy rationale), and
 // accepts --scale-boost=N to grow every proxy by N R-MAT scale steps toward
 // the paper's sizes, plus --graph-file=PATH to run on a real SNAP edge list
 // when one is available offline.
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -82,11 +86,21 @@ inline const ProxySpec& find_proxy(const std::string& name) {
 /// toward paper sizes.
 inline const CSRGraph& build_proxy(const ProxySpec& spec, int scale_boost = 0) {
   static std::map<std::string, CSRGraph> cache;
-  const std::string key = spec.name + "+" + std::to_string(scale_boost);
+  // Every generator input participates in the key: ad-hoc specs may reuse a
+  // name across scenarios, and the harness's --seed offsets spec seeds.
+  const std::string key =
+      spec.name + "+" + std::to_string(scale_boost) + "+" +
+      std::to_string(spec.seed) + "+" + std::to_string(spec.scale) + "+" +
+      std::to_string(spec.edge_factor) + "+" +
+      std::to_string(static_cast<int>(spec.kind)) + "+" +
+      std::to_string(static_cast<int>(spec.dir));
   auto it = cache.find(key);
   if (it != cache.end()) return it->second;
 
-  const unsigned scale = spec.scale + static_cast<unsigned>(scale_boost);
+  // Clamp so the smoke shrink (negative boost) can never underflow into a
+  // degenerate or wrapped-around scale.
+  const unsigned scale = static_cast<unsigned>(
+      std::max(6, static_cast<int>(spec.scale) + scale_boost));
   graph::EdgeList edges;
   switch (spec.kind) {
     case ProxySpec::Kind::Rmat:
@@ -111,19 +125,6 @@ inline const CSRGraph& build_proxy(const ProxySpec& spec, int scale_boost = 0) {
   graph::clean(edges, {.relabel_seed = spec.seed * 7919 + 13});
   auto [ins, ok] = cache.emplace(key, CSRGraph::from_edges(edges));
   return ins->second;
-}
-
-/// Load a real dataset if --graph-file is given, else the named proxy.
-inline CSRGraph load_graph_or_proxy(const util::Cli& cli,
-                                    const std::string& proxy_name) {
-  const std::string& path = cli.get_string("graph-file");
-  if (!path.empty()) {
-    auto edges = graph::load_text_edges(path, Directedness::Undirected);
-    graph::clean(edges, {.relabel_seed = 1});
-    return CSRGraph::from_edges(edges);
-  }
-  return build_proxy(find_proxy(proxy_name),
-                     static_cast<int>(cli.get_int("scale-boost")));
 }
 
 /// Register the flags every bench shares.

@@ -1,4 +1,4 @@
-// Ablation bench for the design decisions called out in DESIGN.md §4:
+// Ablations for the design decisions called out in DESIGN.md §4:
 //   D5: hybrid vs pure SSI vs pure binary inside the distributed engine;
 //   D6: double buffering (overlap) on vs off — the paper notes comm
 //       dominance limits the benefit (Section IV-D2);
@@ -7,25 +7,13 @@
 //   plus: CLaMPI adaptive hash resizing on vs off.
 #include <cstdio>
 
-#include "atlc/core/lcc.hpp"
-#include "common.hpp"
+#include "scenario.hpp"
 
 namespace {
 
 using namespace atlc;
 
-double run_makespan(const graph::CSRGraph& g, std::uint32_t ranks,
-                    core::EngineConfig cfg,
-                    graph::PartitionKind part = graph::PartitionKind::Block1D) {
-  cfg.cost = bench::calibrated_cost();
-  return core::run_distributed_lcc(g, ranks, cfg, {}, part).run.makespan;
-}
-
-double imbalance(const graph::CSRGraph& g, std::uint32_t ranks,
-                 graph::PartitionKind part) {
-  core::EngineConfig cfg;
-  cfg.cost = bench::calibrated_cost();
-  const auto r = core::run_distributed_lcc(g, ranks, cfg, {}, part);
+double imbalance(const core::RunResult& r) {
   double mx = 0, sum = 0;
   for (double c : r.run.clocks) {
     mx = std::max(mx, c);
@@ -34,18 +22,15 @@ double imbalance(const graph::CSRGraph& g, std::uint32_t ranks,
   return mx / (sum / static_cast<double>(r.run.clocks.size()));
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  util::Cli cli("bench_ablation", "Design-decision ablations (DESIGN.md §4)");
-  bench::add_common_flags(cli);
+void add_flags(util::Cli& cli) {
   cli.add_int("ranks", "simulated ranks", 16);
-  if (!cli.parse(argc, argv)) return 1;
-  const auto ranks = static_cast<std::uint32_t>(cli.get_int("ranks"));
-  const int boost = static_cast<int>(cli.get_int("scale-boost"));
+}
 
-  const auto& g =
-      bench::build_proxy(bench::find_proxy("R-MAT-S21-EF16"), boost);
+void run(bench::ScenarioContext& ctx) {
+  const auto ranks = static_cast<std::uint32_t>(
+      ctx.smoke ? 4 : ctx.cli.get_int("ranks"));
+
+  const auto& g = ctx.graph("R-MAT-S21-EF16");
   std::printf("graph: %s, ranks=%u\n", bench::describe(g).c_str(), ranks);
 
   // D5: intersection method inside the distributed engine.
@@ -55,10 +40,14 @@ int main(int argc, char** argv) {
                    intersect::Method::Binary}) {
       core::EngineConfig cfg;
       cfg.method = m;
+      const auto r = ctx.run_lcc_trials(
+          std::string("makespan/method/") + intersect::method_name(m),
+          {.gate = m == intersect::Method::Hybrid}, g, ranks, cfg);
       t.add_row({intersect::method_name(m),
-                 util::Table::fmt(run_makespan(g, ranks, cfg), 4)});
+                 util::Table::fmt(r.run.makespan, 4)});
     }
     t.print("D5: intersection method (distributed engine)");
+    ctx.rec.add_table("D5: intersection method", t);
   }
 
   // D6: double buffering.
@@ -67,14 +56,24 @@ int main(int argc, char** argv) {
     core::EngineConfig on, off;
     on.double_buffer = true;
     off.double_buffer = false;
-    const double t_on = run_makespan(g, ranks, on);
-    const double t_off = run_makespan(g, ranks, off);
+    const double t_on =
+        ctx.run_lcc_trials("makespan/overlap/on", {}, g, ranks, on)
+            .run.makespan;
+    const double t_off =
+        ctx.run_lcc_trials("makespan/overlap/off", {}, g, ranks, off)
+            .run.makespan;
     t.add_row({"double-buffered (overlap)", util::Table::fmt(t_on, 4)});
     t.add_row({"no overlap", util::Table::fmt(t_off, 4)});
     t.print("D6: double buffering");
+    ctx.rec.add_table("D6: double buffering", t);
     std::printf("overlap saves %.1f%% — paper Section IV-D2 predicts a "
                 "small gain because communication dominates.\n",
                 100.0 * (1.0 - t_on / t_off));
+    char note[96];
+    std::snprintf(note, sizeof(note),
+                  "D6: overlap saves %.1f%% (paper predicts a small gain)",
+                  100.0 * (1.0 - t_on / t_off));
+    ctx.rec.add_note(note);
   }
 
   // D7: partitioning.
@@ -82,13 +81,16 @@ int main(int argc, char** argv) {
     util::Table t({"Partitioning", "makespan (s)", "imbalance (max/mean)"});
     for (auto kind :
          {graph::PartitionKind::Block1D, graph::PartitionKind::Cyclic1D}) {
-      core::EngineConfig cfg;
-      t.add_row({kind == graph::PartitionKind::Block1D ? "Block 1D (paper)"
-                                                       : "Cyclic 1D [26]",
-                 util::Table::fmt(run_makespan(g, ranks, cfg, kind), 4),
-                 util::Table::fmt(imbalance(g, ranks, kind), 3)});
+      const bool block = kind == graph::PartitionKind::Block1D;
+      const auto r = ctx.run_lcc_trials(
+          std::string("makespan/partition/") + (block ? "block1d" : "cyclic1d"),
+          {}, g, ranks, {}, kind);
+      t.add_row({block ? "Block 1D (paper)" : "Cyclic 1D [26]",
+                 util::Table::fmt(r.run.makespan, 4),
+                 util::Table::fmt(imbalance(r), 3)});
     }
     t.print("D7: 1D partitioning scheme");
+    ctx.rec.add_table("D7: 1D partitioning scheme", t);
   }
 
   // Adaptive cache resizing.
@@ -102,10 +104,19 @@ int main(int argc, char** argv) {
       cfg.cache_sizing = core::CacheSizing::paper_default(
           g.num_vertices(), g.csr_bytes() / 4);
       cfg.cache_sizing.adj_slots = 64;
+      const auto r = ctx.run_lcc_trials(
+          std::string("makespan/adaptive/") + (adaptive ? "on" : "off"), {},
+          g, ranks, cfg);
       t.add_row({adaptive ? "adaptive resize (CLaMPI)" : "static hash table",
-                 util::Table::fmt(run_makespan(g, ranks, cfg), 4)});
+                 util::Table::fmt(r.run.makespan, 4)});
     }
     t.print("CLaMPI adaptive hash resizing (undersized initial table)");
+    ctx.rec.add_table("CLaMPI adaptive hash resizing", t);
   }
-  return 0;
 }
+
+}  // namespace
+
+ATLC_REGISTER_SCENARIO(ablation, "ablation", "DESIGN.md §4",
+                       "design-decision ablations (D5/D6/D7, adaptivity)",
+                       add_flags, run)

@@ -1,4 +1,4 @@
-// Reproduces paper Fig. 1 (right): LCC data reuse on a social-circles graph
+// Paper Fig. 1 (right): LCC data reuse on a social-circles graph
 // partitioned over two compute nodes — how many remote reads (RMA gets) are
 // repeated y times. The heavy tail of repetitions is what makes RMA caching
 // profitable (Section III-B).
@@ -6,25 +6,25 @@
 #include <cstdio>
 #include <map>
 
-#include "atlc/core/lcc.hpp"
-#include "common.hpp"
+#include "scenario.hpp"
 
-int main(int argc, char** argv) {
-  using namespace atlc;
-  util::Cli cli("bench_fig1_reuse",
-                "Paper Fig. 1 (right): remote-read reuse, 2 nodes");
-  bench::add_common_flags(cli);
+namespace {
+
+using namespace atlc;
+
+void add_flags(util::Cli& cli) {
   cli.add_int("ranks", "number of simulated compute nodes", 2);
-  if (!cli.parse(argc, argv)) return 1;
+}
 
-  const auto& g = bench::load_graph_or_proxy(cli, "Facebook-circles");
+void run(bench::ScenarioContext& ctx) {
+  const auto& g = ctx.graph_or_file("Facebook-circles");
   std::printf("graph: %s\n", bench::describe(g).c_str());
 
   core::EngineConfig cfg;
   cfg.track_remote_reads = true;
-  cfg.cost = bench::calibrated_cost();
-  const auto result = core::run_distributed_lcc(
-      g, static_cast<std::uint32_t>(cli.get_int("ranks")), cfg);
+  const auto result = ctx.run_lcc_trials(
+      "makespan/plain", {.gate = true}, g,
+      static_cast<std::uint32_t>(ctx.cli.get_int("ranks")), cfg);
 
   // Bucket repetition counts like the paper's y-axis: 1, 4, 16, 64, 256.
   std::map<std::uint64_t, std::uint64_t> buckets;  // repetitions -> #targets
@@ -43,17 +43,31 @@ int main(int argc, char** argv) {
   for (const auto& [reps, count] : buckets)
     table.add_row({util::Table::fmt_int(reps), util::Table::fmt_int(count)});
   table.print("Fig. 1 (right): LCC data reuse");
+  ctx.rec.add_table("Fig. 1 (right): LCC data reuse", table);
+
+  const double avoidable =
+      static_cast<double>(repeated_reads) /
+      static_cast<double>(std::max<std::uint64_t>(1, total_reads));
+  ctx.rec.declare_metric("avoidable_read_fraction",
+                         {.unit = "fraction", .direction = "higher"});
+  ctx.rec.add_trial("avoidable_read_fraction", avoidable);
 
   std::printf(
       "\nremote reads: %llu, distinct targets: %llu, avoidable (repeat) "
       "reads: %llu (%.1f%% of all remote reads)\n",
       static_cast<unsigned long long>(total_reads),
       static_cast<unsigned long long>(targets),
-      static_cast<unsigned long long>(repeated_reads),
-      100.0 * static_cast<double>(repeated_reads) /
-          static_cast<double>(std::max<std::uint64_t>(1, total_reads)));
+      static_cast<unsigned long long>(repeated_reads), 100.0 * avoidable);
+  ctx.rec.add_note(
+      "paper shape check: most targets are read once, a heavy tail of hubs "
+      "is read tens-to-hundreds of times");
   std::printf(
       "paper shape check: most targets are read once, a heavy tail of hubs "
       "is read tens-to-hundreds of times.\n");
-  return 0;
 }
+
+}  // namespace
+
+ATLC_REGISTER_SCENARIO(fig1, "fig1", "Fig. 1",
+                       "remote-read reuse distribution, 2 nodes", add_flags,
+                       run)

@@ -1,37 +1,35 @@
-// Reproduces paper Fig. 5: on the Facebook-circles graph over two nodes,
-// (left) the number of remote accesses per vertex correlates with vertex
-// degree, and (right) C_adj cache entry sizes equal the degrees of cached
-// vertices — the observations (3.1, 3.2) that justify degree-based scores.
+// Paper Fig. 5: on the Facebook-circles graph over two nodes, (left) the
+// number of remote accesses per vertex correlates with vertex degree, and
+// (right) C_adj cache entry sizes equal the degrees of cached vertices —
+// the observations (3.1, 3.2) that justify degree-based scores.
 #include <algorithm>
 #include <cstdio>
 
-#include "atlc/core/lcc.hpp"
-#include "common.hpp"
+#include "scenario.hpp"
 
-int main(int argc, char** argv) {
-  using namespace atlc;
-  util::Cli cli("bench_fig5_entries",
-                "Paper Fig. 5: reuse and cache entry sizes vs degree");
-  bench::add_common_flags(cli);
-  if (!cli.parse(argc, argv)) return 1;
+namespace {
 
-  const auto& g = bench::load_graph_or_proxy(cli, "Facebook-circles");
+using namespace atlc;
+
+void run(bench::ScenarioContext& ctx) {
+  const auto& g = ctx.graph_or_file("Facebook-circles");
   std::printf("graph: %s\n", bench::describe(g).c_str());
 
   core::EngineConfig cfg;
   cfg.use_cache = true;
   cfg.track_remote_reads = true;
   cfg.dump_cache_entries = true;
-  cfg.cost = bench::calibrated_cost();
   cfg.cache_sizing = core::CacheSizing::paper_default(
       g.num_vertices(), g.csr_bytes());  // ample cache: keep everything seen
-  const auto result = core::run_distributed_lcc(g, 2, cfg);
+  const auto result =
+      ctx.run_lcc_trials("makespan/cached_ample", {.gate = true}, g, 2, cfg);
 
   // Left plot: bucket vertices by degree, report mean remote accesses.
   graph::VertexId max_deg = 0;
   for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
     max_deg = std::max(max_deg, g.degree(v));
-  const graph::VertexId bucket_width = std::max<graph::VertexId>(1, max_deg / 8);
+  const graph::VertexId bucket_width =
+      std::max<graph::VertexId>(1, max_deg / 8);
 
   struct Bucket {
     std::uint64_t vertices = 0;
@@ -57,6 +55,7 @@ int main(int argc, char** argv) {
                                    2)});
   }
   left.print("Fig. 5 (left): remote accesses vs vertex degree (C_offsets view)");
+  ctx.rec.add_table("Fig. 5 (left): remote accesses vs vertex degree", left);
 
   // Right plot: C_adj entries — size in bytes (== 4 * degree of the cached
   // vertex) against the degree score recorded at insertion.
@@ -82,6 +81,9 @@ int main(int argc, char** argv) {
   right.add_row({"entry size == 4 x degree (Obs. 3.1)",
                  sizes_track_scores ? "HOLDS" : "VIOLATED"});
   right.print("Fig. 5 (right): C_adj cache entry sizes");
+  ctx.rec.add_table("Fig. 5 (right): C_adj cache entry sizes", right);
+  ctx.rec.add_note(std::string("Obs. 3.1 (entry size == 4 x degree): ") +
+                   (sizes_track_scores ? "HOLDS" : "VIOLATED"));
 
   // Shape check: reads per vertex grow with degree.
   double low = 0, high = 0;
@@ -92,5 +94,12 @@ int main(int argc, char** argv) {
   std::printf("\npaper shape check (reuse correlates with degree): "
               "low-degree mean %.2f vs top-degree mean %.2f -> %s\n",
               low, high, high > 2 * low ? "HOLDS" : "check manually");
-  return 0;
+  ctx.rec.add_note(std::string("reuse correlates with degree: ") +
+                   (high > 2 * low ? "HOLDS" : "check manually"));
 }
+
+}  // namespace
+
+ATLC_REGISTER_SCENARIO(fig5, "fig5", "Fig. 5",
+                       "reuse and cache entry sizes vs degree, 2 nodes",
+                       nullptr, run)

@@ -1,6 +1,6 @@
-// Reproduces paper Fig. 7: cache behaviour as a function of cache size, for
-// each window in isolation (caching enabled only on C_offsets or only on
-// C_adj, the other window issuing uncached reads). R-MAT graph on 2 nodes.
+// Paper Fig. 7: cache behaviour as a function of cache size, for each
+// window in isolation (caching enabled only on C_offsets or only on C_adj,
+// the other window issuing uncached reads). R-MAT graph on 2 nodes.
 //
 // Expected shape (paper):
 //  - C_adj: miss rate falls steeply (power-law) with size; most of the
@@ -9,8 +9,7 @@
 //  - Both floored by compulsory misses (grey area in the paper's plot).
 #include <cstdio>
 
-#include "atlc/core/lcc.hpp"
-#include "common.hpp"
+#include "scenario.hpp"
 
 namespace {
 
@@ -30,24 +29,21 @@ double mean_comm(const core::RunResult& r) {
   return total / static_cast<double>(r.run.stats.size());
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  util::Cli cli("bench_fig7_cache_sweep",
-                "Paper Fig. 7: per-window cache-size sweep, 2 nodes");
-  bench::add_common_flags(cli);
+void add_flags(util::Cli& cli) {
   cli.add_int("ranks", "number of simulated nodes", 2);
   cli.add_int("steps", "sweep points per cache (paper used 100)", 12);
-  if (!cli.parse(argc, argv)) return 1;
-  const auto ranks = static_cast<std::uint32_t>(cli.get_int("ranks"));
-  const auto steps = static_cast<int>(cli.get_int("steps"));
+}
+
+void run(bench::ScenarioContext& ctx) {
+  const auto ranks = static_cast<std::uint32_t>(ctx.cli.get_int("ranks"));
+  const int steps =
+      ctx.smoke ? 4 : static_cast<int>(ctx.cli.get_int("steps"));
 
   // Paper: R-MAT with 2^20 vertices, 2^24 edges. Proxy: 2^14 / 2^18.
-  bench::ProxySpec spec{"rmat-fig7", "", 14, 16,
-                        graph::Directedness::Undirected, 7,
-                        bench::ProxySpec::Kind::Rmat};
-  const auto& g =
-      bench::build_proxy(spec, static_cast<int>(cli.get_int("scale-boost")));
+  const bench::ProxySpec spec{"rmat-fig7", "", 14, 16,
+                              graph::Directedness::Undirected, 7,
+                              bench::ProxySpec::Kind::Rmat};
+  const auto& g = ctx.graph(spec);
   std::printf("graph: %s, ranks=%u\n", bench::describe(g).c_str(), ranks);
 
   // Remote footprints per rank (what "relative cache size" is relative to).
@@ -56,20 +52,19 @@ int main(int argc, char** argv) {
   const std::uint64_t adj_total = g.num_edges() * sizeof(graph::VertexId);
 
   // Baseline without any cache.
-  core::EngineConfig base;
-  base.cost = bench::calibrated_cost();
-  const auto baseline = core::run_distributed_lcc(g, ranks, base);
+  const auto baseline =
+      ctx.run_lcc_trials("makespan/uncached", {.gate = true}, g, ranks, {});
   const double comm_base = mean_comm(baseline);
   std::printf("non-cached communication time (mean/rank): %.3f s\n\n",
               comm_base);
 
   for (const bool sweep_adj : {false, true}) {
+    const char* window = sweep_adj ? "adj" : "offsets";
     const std::uint64_t footprint = sweep_adj ? adj_total : offsets_total;
     std::vector<SweepPoint> points;
     for (int s = 1; s <= steps; ++s) {
       const double fraction = static_cast<double>(s) / steps;
       core::EngineConfig cfg;
-      cfg.cost = bench::calibrated_cost();
       cfg.use_cache = true;
       cfg.cache_offsets = !sweep_adj;
       cfg.cache_adj = sweep_adj;
@@ -78,7 +73,12 @@ int main(int argc, char** argv) {
                                            static_cast<double>(footprint)));
       cfg.cache_sizing.offsets_bytes = bytes;
       cfg.cache_sizing.adj_bytes = bytes;
-      const auto r = core::run_distributed_lcc(g, ranks, cfg);
+      char metric[64];
+      std::snprintf(metric, sizeof(metric), "makespan/%s/frac=%.2f", window,
+                    fraction);
+      // Gate the full-size point of each window's sweep.
+      const auto r = ctx.run_lcc_trials(metric, {.gate = s == steps}, g,
+                                        ranks, cfg);
       const auto& cs = sweep_adj ? r.adj_cache_total : r.offsets_cache_total;
       points.push_back(
           {fraction, bytes, cs.miss_rate(),
@@ -98,20 +98,31 @@ int main(int argc, char** argv) {
                      util::Table::fmt_percent(p.compulsory_rate),
                      util::Table::fmt(p.comm_seconds, 4),
                      util::Table::fmt_percent(p.comm_seconds / comm_base)});
-    table.print(sweep_adj
-                    ? "Fig. 7 (right pair): adjacencies cache (C_adj) only"
-                    : "Fig. 7 (left pair): offsets cache (C_offsets) only");
+    const std::string title =
+        sweep_adj ? "Fig. 7 (right pair): adjacencies cache (C_adj) only"
+                  : "Fig. 7 (left pair): offsets cache (C_offsets) only";
+    table.print(title);
+    ctx.rec.add_table(title, table);
 
-    const double save =
-        1.0 - points.back().comm_seconds / comm_base;
+    const double save = 1.0 - points.back().comm_seconds / comm_base;
     std::printf("\nmax communication-time saving with %s only: %.1f%% "
                 "(paper: C_adj alone saved 51.6%%)\n\n",
                 sweep_adj ? "C_adj" : "C_offsets", 100 * save);
+    char note[128];
+    std::snprintf(note, sizeof(note),
+                  "max comm-time saving with %s only: %.1f%% (paper: C_adj "
+                  "alone saved 51.6%%)",
+                  sweep_adj ? "C_adj" : "C_offsets", 100 * save);
+    ctx.rec.add_note(note);
   }
 
   std::printf(
       "paper shape check: C_adj miss rate falls steeply and saves most of "
       "the time; C_offsets falls ~linearly and saves little; compulsory "
       "misses floor both curves.\n");
-  return 0;
 }
+
+}  // namespace
+
+ATLC_REGISTER_SCENARIO(fig7, "fig7", "Fig. 7",
+                       "per-window cache-size sweep, 2 nodes", add_flags, run)

@@ -1,15 +1,14 @@
-// Reproduces paper Fig. 8: CLaMPI's original (LRU + positional) eviction
-// scores vs this paper's application-defined degree-centrality scores, on
-// an R-MAT graph with C_adj capped at 25% of each rank's non-local
-// partition so the eviction path is constantly exercised.
+// Paper Fig. 8: CLaMPI's original (LRU + positional) eviction scores vs
+// this paper's application-defined degree-centrality scores, on an R-MAT
+// graph with C_adj capped at 25% of each rank's non-local partition so the
+// eviction path is constantly exercised.
 //
 // Expected shape (paper): degree scores cut the C_adj miss rate and the
 // average remote-read time by 14.4%-35.6%; compulsory misses (grey floor)
 // grow with the node count and are policy-independent.
 #include <cstdio>
 
-#include "atlc/core/lcc.hpp"
-#include "common.hpp"
+#include "scenario.hpp"
 
 namespace {
 
@@ -21,10 +20,9 @@ struct Measurement {
   double compulsory_rate;
 };
 
-Measurement run_once(const graph::CSRGraph& g, std::uint32_t ranks,
-                     clampi::VictimPolicy policy) {
+Measurement run_once(bench::ScenarioContext& ctx, const graph::CSRGraph& g,
+                     std::uint32_t ranks, clampi::VictimPolicy policy) {
   core::EngineConfig cfg;
-  cfg.cost = bench::calibrated_cost();
   cfg.use_cache = true;
   cfg.victim_policy = policy;
   // 25% of the non-local partition bytes per rank (paper Section IV-D1):
@@ -32,46 +30,50 @@ Measurement run_once(const graph::CSRGraph& g, std::uint32_t ranks,
   const double non_local_bytes =
       static_cast<double>(g.num_edges()) * sizeof(graph::VertexId) *
       (1.0 - 1.0 / ranks);
-  cfg.cache_sizing.adj_bytes =
-      std::max<std::uint64_t>(4096, static_cast<std::uint64_t>(0.25 * non_local_bytes));
+  cfg.cache_sizing.adj_bytes = std::max<std::uint64_t>(
+      4096, static_cast<std::uint64_t>(0.25 * non_local_bytes));
   cfg.cache_sizing.offsets_bytes =
-      std::max<std::uint64_t>(4096, g.num_vertices());  // paper's 0.8|V| rule, scaled
+      std::max<std::uint64_t>(4096, g.num_vertices());
 
-  const auto r = core::run_distributed_lcc(g, ranks, cfg);
+  const char* label =
+      policy == clampi::VictimPolicy::UserScore ? "degree" : "orig";
+  char metric[64];
+  std::snprintf(metric, sizeof(metric), "makespan/%s/p%u", label, ranks);
+  const auto r = ctx.run_lcc_trials(
+      metric,
+      {.gate = policy == clampi::VictimPolicy::UserScore && ranks == 8}, g,
+      ranks, cfg);
   double comm = 0;
   for (const auto& s : r.run.stats) comm += s.comm_seconds;
   const auto& cs = r.adj_cache_total;
-  return {comm / static_cast<double>(std::max<std::uint64_t>(1, r.remote_edges)) * 1e6,
+  return {comm /
+              static_cast<double>(std::max<std::uint64_t>(1, r.remote_edges)) *
+              1e6,
           cs.miss_rate(),
           cs.accesses() ? static_cast<double>(cs.compulsory_misses) /
                               static_cast<double>(cs.accesses())
                         : 0.0};
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  util::Cli cli("bench_fig8_scores",
-                "Paper Fig. 8: original vs degree-centrality eviction scores");
-  bench::add_common_flags(cli);
-  if (!cli.parse(argc, argv)) return 1;
-
+void run(bench::ScenarioContext& ctx) {
   // Paper: R-MAT 2^20 vertices / 2^24 edges. Proxy: 2^14 / 2^18.
-  bench::ProxySpec spec{"rmat-fig8", "", 14, 16,
-                        graph::Directedness::Undirected, 8,
-                        bench::ProxySpec::Kind::Rmat};
-  const auto& g =
-      bench::build_proxy(spec, static_cast<int>(cli.get_int("scale-boost")));
+  const bench::ProxySpec spec{"rmat-fig8", "", 14, 16,
+                              graph::Directedness::Undirected, 8,
+                              bench::ProxySpec::Kind::Rmat};
+  const auto& g = ctx.graph(spec);
   std::printf("graph: %s (C_adj capped at 25%% of non-local partition)\n",
               bench::describe(g).c_str());
+
+  std::vector<std::uint32_t> nodes = {4, 8, 16, 32, 64};
+  if (ctx.smoke) nodes = {4, 8};
 
   util::Table table({"Nodes", "avg read us (orig)", "avg read us (degree)",
                      "improvement", "miss rate (orig)", "miss rate (degree)",
                      "compulsory floor"});
   bool improves_somewhere = false;
-  for (std::uint32_t p : {4u, 8u, 16u, 32u, 64u}) {
-    const auto orig = run_once(g, p, clampi::VictimPolicy::LruPositional);
-    const auto degree = run_once(g, p, clampi::VictimPolicy::UserScore);
+  for (std::uint32_t p : nodes) {
+    const auto orig = run_once(ctx, g, p, clampi::VictimPolicy::LruPositional);
+    const auto degree = run_once(ctx, g, p, clampi::VictimPolicy::UserScore);
     const double gain = 1.0 - degree.avg_read_us / orig.avg_read_us;
     improves_somewhere |= gain > 0.02;
     table.add_row({util::Table::fmt_int(p),
@@ -83,11 +85,20 @@ int main(int argc, char** argv) {
                    util::Table::fmt_percent(degree.compulsory_rate)});
   }
   table.print("Fig. 8: original scores vs degree-centrality scores");
+  ctx.rec.add_table("Fig. 8: original vs degree-centrality scores", table);
 
   std::printf(
       "\npaper shape check: degree-centrality scores improve average remote "
       "read time (paper: 14.4%%-35.6%%) until compulsory misses dominate at "
       "high node counts -> %s\n",
       improves_somewhere ? "HOLDS" : "check output");
-  return 0;
+  ctx.rec.add_note(std::string("degree scores improve avg remote-read time "
+                               "somewhere in the node sweep: ") +
+                   (improves_somewhere ? "HOLDS" : "check output"));
 }
+
+}  // namespace
+
+ATLC_REGISTER_SCENARIO(fig8, "fig8", "Fig. 8",
+                       "original vs degree-centrality eviction scores",
+                       nullptr, run)

@@ -1,7 +1,7 @@
-// Reproduces paper Fig. 9: small-scale strong scaling (4..64 nodes) of
-// LCC non-cached vs LCC cached vs TriC vs TriC-Buffered on six graphs,
-// plus the Section IV-D2 text metrics (remote-read fraction and
-// communication share of total time).
+// Paper Fig. 9: small-scale strong scaling (4..64 nodes) of LCC non-cached
+// vs LCC cached vs TriC vs TriC-Buffered on six graphs, plus the
+// Section IV-D2 text metrics (remote-read fraction and communication share
+// of total time).
 //
 // Expected shape (paper):
 //  - async LCC scales ~9-14x from 4 to 64 nodes on scale-free graphs;
@@ -11,9 +11,7 @@
 //  - remote-read fraction grows toward ~98% and communication dominates.
 #include <cstdio>
 
-#include "atlc/core/lcc.hpp"
-#include "atlc/tric/tric.hpp"
-#include "common.hpp"
+#include "scenario.hpp"
 
 namespace {
 
@@ -28,29 +26,29 @@ double comm_share(const rma::Runtime::Result& r) {
   return total > 0 ? comm / total : 0.0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  util::Cli cli("bench_fig9_small_scale",
-                "Paper Fig. 9: strong scaling 4..64 nodes, all systems");
-  bench::add_common_flags(cli);
+void add_flags(util::Cli& cli) {
   cli.add_flag("skip-tric", "skip the TriC baselines (they dominate runtime "
                "by design — that is the paper's point)", false);
   cli.add_double("cache-budget-frac",
                  "cache budget as a fraction of the graph's CSR size "
                  "(paper: 16 GiB/node at paper-scale graphs)", 0.5);
-  if (!cli.parse(argc, argv)) return 1;
-  const int boost = static_cast<int>(cli.get_int("scale-boost"));
-  const bool skip_tric = cli.get_flag("skip-tric");
-  const double budget_frac = cli.get_double("cache-budget-frac");
+}
 
-  const std::vector<std::string> graphs = {"R-MAT-S21-EF16", "R-MAT-S23-EF16",
-                                           "Orkut",          "LiveJournal",
-                                           "Skitter",        "LiveJournal1"};
-  const std::vector<std::uint32_t> nodes = {4, 8, 16, 32, 64};
+void run(bench::ScenarioContext& ctx) {
+  const bool skip_tric = ctx.cli.get_flag("skip-tric");
+  const double budget_frac = ctx.cli.get_double("cache-budget-frac");
+
+  std::vector<std::string> graphs = {"R-MAT-S21-EF16", "R-MAT-S23-EF16",
+                                     "Orkut",          "LiveJournal",
+                                     "Skitter",        "LiveJournal1"};
+  std::vector<std::uint32_t> nodes = {4, 8, 16, 32, 64};
+  if (ctx.smoke) {
+    graphs = {"R-MAT-S21-EF16", "LiveJournal"};
+    nodes = {4, 8};
+  }
 
   for (const auto& name : graphs) {
-    const auto& g = bench::build_proxy(bench::find_proxy(name), boost);
+    const auto& g = ctx.graph(name);
     std::printf("\n### %s — %s\n", name.c_str(), bench::describe(g).c_str());
 
     util::Table table({"Nodes", "LCC non-cached (s)", "LCC cached (s)",
@@ -59,31 +57,41 @@ int main(int argc, char** argv) {
     double first_plain = 0;
     double last_plain = 0;
     for (std::uint32_t p : nodes) {
-      core::EngineConfig plain_cfg;
-      plain_cfg.cost = bench::calibrated_cost();
-      const auto plain = core::run_distributed_lcc(g, p, plain_cfg);
+      const bool gate = name == "R-MAT-S21-EF16" && p == nodes.front();
+      char metric[96];
+      std::snprintf(metric, sizeof(metric), "makespan/plain/%s/p%u",
+                    name.c_str(), p);
+      const auto plain =
+          ctx.run_lcc_trials(metric, {.gate = gate}, g, p, {});
 
-      core::EngineConfig cached_cfg = plain_cfg;
+      core::EngineConfig cached_cfg;
       cached_cfg.use_cache = true;
       cached_cfg.victim_policy = clampi::VictimPolicy::UserScore;
       cached_cfg.cache_sizing = core::CacheSizing::paper_default(
           g.num_vertices(),
           static_cast<std::uint64_t>(budget_frac *
                                      static_cast<double>(g.csr_bytes())));
-      const auto cached = core::run_distributed_lcc(g, p, cached_cfg);
+      std::snprintf(metric, sizeof(metric), "makespan/cached/%s/p%u",
+                    name.c_str(), p);
+      const auto cached =
+          ctx.run_lcc_trials(metric, {.gate = gate}, g, p, cached_cfg);
 
       std::string tric_s = "-", tric_buf_s = "-";
       if (!skip_tric) {
         tric::TricConfig tc;
-        tc.cost = bench::calibrated_cost();
-        const auto tr = tric::run_tric(g, p, tc);
+        std::snprintf(metric, sizeof(metric), "makespan/tric/%s/p%u",
+                      name.c_str(), p);
+        const auto tr = ctx.run_tric_trials(metric, {}, g, p, tc);
         tric_s = util::Table::fmt(tr.run.makespan, 3);
         tric::TricConfig tb = tc;
         // Paper: 16 MiB per-peer buffers at paper-scale graphs; scaled
         // proportionally to the proxy size so the buffered variant's extra
         // rounds actually trigger.
         tb.buffer_entries = 64u << 10;
-        tric_buf_s = util::Table::fmt(tric::run_tric(g, p, tb).run.makespan, 3);
+        std::snprintf(metric, sizeof(metric), "makespan/tric_buf/%s/p%u",
+                      name.c_str(), p);
+        tric_buf_s = util::Table::fmt(
+            ctx.run_tric_trials(metric, {}, g, p, tb).run.makespan, 3);
       }
 
       if (p == nodes.front()) first_plain = plain.run.makespan;
@@ -97,9 +105,17 @@ int main(int argc, char** argv) {
            util::Table::fmt_percent(comm_share(plain.run))});
     }
     table.print("Fig. 9 strong scaling: " + name);
+    ctx.rec.add_table("Fig. 9 strong scaling: " + name, table);
     std::printf("async speedup %u -> %u nodes: %.1fx "
                 "(paper: 9.2x-14x depending on graph)\n",
                 nodes.front(), nodes.back(), first_plain / last_plain);
+    char note[128];
+    std::snprintf(note, sizeof(note),
+                  "%s: async speedup %u -> %u nodes = %.1fx (paper: "
+                  "9.2x-14x at full scale)",
+                  name.c_str(), nodes.front(), nodes.back(),
+                  first_plain / last_plain);
+    ctx.rec.add_note(note);
   }
 
   std::printf(
@@ -108,5 +124,10 @@ int main(int argc, char** argv) {
       "is 1-2 orders of magnitude slower on scale-free graphs; (4) the "
       "remote-edge fraction and comm share climb with the node count "
       "(Section IV-D2: 66%%->98%% and 78.9%%->97.7%%).\n");
-  return 0;
 }
+
+}  // namespace
+
+ATLC_REGISTER_SCENARIO(fig9, "fig9", "Fig. 9",
+                       "strong scaling 4..64 nodes, all systems", add_flags,
+                       run)

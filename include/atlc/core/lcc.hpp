@@ -16,8 +16,10 @@
 namespace atlc::core {
 
 /// Sizing of the two CLaMPI caches (paper Section IV-D2): from a total
-/// memory budget, 0.8*|V| bytes go to C_offsets (enough for 0.4*|V|
-/// (start,end) pairs) and the remainder to C_adj.
+/// memory budget, C_offsets gets room for 0.4*|V| (start,end) pairs —
+/// 6.4*|V| bytes with this engine's 64-bit offsets, capped at half the
+/// budget — and C_adj takes the remainder (see paper_default in
+/// src/core/lcc.cpp).
 struct CacheSizing {
   std::uint64_t offsets_bytes = 1u << 20;
   std::uint64_t adj_bytes = 8u << 20;

@@ -5,9 +5,14 @@
 #include <string>
 #include <vector>
 
+#include "atlc/clampi/config.hpp"
+#include "atlc/rma/comm_stats.hpp"
+#include "atlc/util/json.hpp"
 #include "atlc/util/stats.hpp"
 
 namespace atlc::util {
+
+class Table;
 
 /// LibLSB-style benchmark recorder (Hoefler & Belli, "Scientific Benchmarking
 /// of Parallel Computing Systems", SC'15).
@@ -47,6 +52,72 @@ class Recorder {
  private:
   Options opts_;
   std::vector<double> samples_;
+};
+
+/// JSON serializers for the counters every bench report carries.
+[[nodiscard]] Json to_json(const rma::CommStats& s);
+[[nodiscard]] Json to_json(const clampi::CacheStats& s);
+[[nodiscard]] Json to_json(const Summary& s);
+
+/// Structured JSON emitter behind `atlc_bench --json` (see DESIGN.md §5 for
+/// the schema). One BenchRecorder per scenario run: environment/git metadata
+/// is captured at construction, scenarios then declare named metrics and
+/// append per-trial records (value + CommStats/CacheStats detail), mirror
+/// their human-readable tables, and `finalize()` folds summary statistics
+/// (median, CI) plus a determinism verdict into the document.
+///
+/// `tools/bench_compare` consumes these files: metrics declared with
+/// `gate = true` participate in the regression gate.
+class BenchRecorder {
+ public:
+  struct MetricOptions {
+    std::string unit = "s";
+    /// "lower" (times) or "higher" (throughputs) is better; bench_compare
+    /// flips its regression test accordingly.
+    std::string direction = "lower";
+    /// Gated metrics fail bench_compare when they regress beyond tolerance.
+    bool gate = false;
+    /// Virtual-time metrics are bit-deterministic under the default cost
+    /// model; wall-clock metrics are not and must not assert determinism.
+    bool expect_deterministic = true;
+  };
+
+  BenchRecorder(std::string scenario, std::string paper_anchor,
+                std::string title);
+
+  /// Mutable metadata object (`seed`, `repeats`, `smoke`, `argv`, ...).
+  Json& meta() { return root_["meta"]; }
+
+  /// Declare `name` before adding trials; re-declaring is a no-op so sweep
+  /// loops can declare inside the loop body.
+  void declare_metric(const std::string& name, const MetricOptions& opts);
+
+  /// Append one trial. `detail` (optional object) is merged into the trial
+  /// record next to "value" — callers attach to_json(CommStats) etc. here.
+  void add_trial(const std::string& metric, double value,
+                 Json detail = Json());
+
+  /// Free-form commentary ("paper shape check HOLDS", deviations, ...).
+  void add_note(std::string note);
+
+  /// Mirror a human-readable results table into the document.
+  void add_table(const std::string& title, const Table& table);
+
+  /// Compute per-metric summaries and the determinism verdicts, then return
+  /// the completed document. Idempotent.
+  const Json& finalize();
+
+  /// finalize() + write to `path` (pretty-printed). False on I/O failure.
+  bool write_file(const std::string& path);
+
+  [[nodiscard]] const Json& doc() const { return root_; }
+
+  /// Current JSON schema version emitted in every document.
+  static constexpr int kSchemaVersion = 1;
+
+ private:
+  Json root_;
+  bool finalized_ = false;
 };
 
 }  // namespace atlc::util

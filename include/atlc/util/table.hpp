@@ -28,6 +28,14 @@ class Table {
   /// Render as a string (used by tests).
   [[nodiscard]] std::string to_string() const;
 
+  /// Raw cells, for mirroring tables into JSON (BenchRecorder::add_table).
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
