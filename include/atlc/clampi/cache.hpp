@@ -45,8 +45,15 @@ class Cache {
   /// Store a payload after a miss fetch. `user_score` is consulted only
   /// under VictimPolicy::UserScore (paper Section III-B2: degree centrality
   /// for C_adj). May evict (possibly several) entries; returns false iff
-  /// the payload exceeds the whole buffer.
+  /// the payload exceeds the whole buffer. Inserting a key that is already
+  /// resident is a caller error (see contains()).
   bool insert(const Key& key, const void* data, double user_score = 0.0);
+
+  /// True iff `key` is resident. Unlike lookup(), copies no payload and
+  /// does not refresh recency — the probe callers use to decide whether a
+  /// completed miss fetch still needs its insert (an overlapping fetch of
+  /// the same key may have inserted first; see CachedWindow::finish).
+  [[nodiscard]] bool contains(const Key& key) const { return find(key) >= 0; }
 
   /// Drop every entry (stats retained). UserDefined-mode applications call
   /// this; it also implements the transparent-mode epoch flush.

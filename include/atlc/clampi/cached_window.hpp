@@ -68,7 +68,13 @@ class CachedWindow {
     if (p.completed) return;
     ctx_->flush(p.handle);
     if (p.insert_on_finish) {
-      cache_.insert(p.key, p.dst, p.score);
+      // Pipelines deeper than the paper's double buffering can have two
+      // misses of the same key in flight at once (depth 2 cannot: a new
+      // get only starts after the previous finish). The first completion
+      // inserts; later ones find the key resident and skip the duplicate
+      // insert — their transfer happened and its miss bookkeeping is still
+      // charged.
+      if (!cache_.contains(p.key)) cache_.insert(p.key, p.dst, p.score);
       ctx_->charge_comm(ctx_->net().cache_miss_overhead_s);
     }
   }

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "atlc/clampi/config.hpp"
+#include "atlc/graph/types.hpp"
+#include "atlc/intersect/cost_model.hpp"
+#include "atlc/intersect/parallel.hpp"
+
+namespace atlc::core {
+
+using graph::VertexId;
+
+/// Sizing of the two CLaMPI caches (paper Section IV-D2): from a total
+/// memory budget, C_offsets gets room for 0.4*|V| (start,end) pairs —
+/// 6.4*|V| bytes with this engine's 64-bit offsets, capped at half the
+/// budget — and C_adj takes the remainder (see paper_default in
+/// src/core/edge_pipeline.cpp).
+struct CacheSizing {
+  std::uint64_t offsets_bytes = 1u << 20;
+  std::uint64_t adj_bytes = 8u << 20;
+  std::size_t offsets_slots = 0;  ///< 0 = derive via paper heuristics
+  std::size_t adj_slots = 0;
+
+  /// The paper's allocation rule for a given graph size and budget.
+  static CacheSizing paper_default(VertexId num_vertices,
+                                   std::uint64_t total_budget_bytes);
+};
+
+/// Configuration of the distributed edge-analytic engine (paper Algorithm 3
+/// generalised by core::EdgePipeline): every analytic — LCC, TC, Jaccard,
+/// the similarity measures — runs on the same configuration surface.
+struct EngineConfig {
+  intersect::Method method = intersect::Method::Hybrid;
+
+  /// Compute-cost model for virtual-time charging (see
+  /// intersect/cost_model.hpp). Benches calibrate this once on startup.
+  intersect::CostModel cost{};
+
+  /// Enable CLaMPI caching (paper Section III-B). `cache_offsets` /
+  /// `cache_adj` select which of the two windows is cached — paper Fig. 7
+  /// studies each window's cache in isolation.
+  bool use_cache = false;
+  bool cache_offsets = true;
+  bool cache_adj = true;
+  CacheSizing cache_sizing{};
+  /// Victim selection: LruPositional = CLaMPI default scores;
+  /// UserScore = this paper's degree-centrality extension (Fig. 8).
+  clampi::VictimPolicy victim_policy = clampi::VictimPolicy::LruPositional;
+  bool cache_adaptive = false;
+
+  /// Overlap adjacency transfers with intersections (paper Section III-A).
+  /// `false` forces a depth-1 (fully synchronous) pipeline regardless of
+  /// `pipeline_depth`; kept as a switch so ablations and `--no-overlap`
+  /// toggle overlap without remembering the configured depth.
+  bool double_buffer = true;
+
+  /// Prefetch-pipeline depth k of the edge stream: the engine keeps up to
+  /// k-1 adjacency transfers in flight under the current intersection, over
+  /// a ring of k fetch buffers. k=2 is the paper's double buffering; k=1
+  /// is no overlap; larger k hides more latency until the initiator's NIC
+  /// serialisation saturates (DESIGN.md §2, `pipeline_depth` scenario).
+  std::size_t pipeline_depth = 2;
+
+  /// Depth actually used by the engine: `double_buffer=false` maps to 1.
+  [[nodiscard]] std::size_t effective_pipeline_depth() const {
+    return double_buffer ? std::max<std::size_t>(1, pipeline_depth) : 1;
+  }
+
+  /// Count only common neighbors k > j (upper-triangle de-duplication,
+  /// paper Section II-C). Halves work for global TC; per-vertex LCC needs
+  /// the full count, so LCC runs keep this false.
+  bool upper_triangle_only = false;
+
+  /// OpenMP-parallel intersection (paper Section III-C). Off by default in
+  /// distributed runs: ranks are already threads in this simulation.
+  bool parallel_intersect = false;
+  intersect::ParallelConfig parallel{};
+
+  /// Record, per target global vertex, how many remote reads it received
+  /// (drives paper Figs. 1, 4, 5). Costs one counter array per rank.
+  bool track_remote_reads = false;
+
+  /// Snapshot the C_adj cache contents at the end of the compute phase
+  /// (drives paper Fig. 5 right: entry sizes vs reuse).
+  bool dump_cache_entries = false;
+};
+
+}  // namespace atlc::core

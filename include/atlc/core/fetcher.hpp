@@ -1,12 +1,13 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "atlc/clampi/cached_window.hpp"
 #include "atlc/core/dist_graph.hpp"
-#include "atlc/core/lcc.hpp"
+#include "atlc/core/engine_config.hpp"
 
 namespace atlc::core {
 
@@ -15,24 +16,40 @@ namespace atlc::core {
 ///   1. get offsets[lv, lv+2) from the owner's w_offsets -> (start, end);
 ///   2. get adjacencies[start, end) from the owner's w_adj.
 /// Step 1 is synchronous (step 2 depends on its result); step 2 can stay in
-/// flight while the caller computes — that is the engine's double buffering.
+/// flight while the caller computes — that is the engine's pipelining.
 ///
 /// With caching enabled, both gets go through CLaMPI-style CachedWindows.
 /// Per the paper, C_offsets always uses CLaMPI's default eviction scores
 /// (there is no useful application score before the degree is known), while
 /// C_adj uses the configured policy, scoring entries by the out-degree
 /// learned from step 1 (Section III-B2).
+///
+/// ## Buffer-ring lifetime contract
+///
+/// Remote fetches land in a ring of `EngineConfig::effective_pipeline_depth`
+/// buffers, so at most `depth` fetches may be live — in flight or with
+/// their finish()ed span still being read — at once. The span returned by
+/// finish(t) aliases t's ring slot and stays valid **until the slot is
+/// reused**, i.e. for the next `depth - 1` begin()s of remote non-empty
+/// adjacencies; after that the span reads the next fetch's data. Each slot
+/// carries a generation counter stamped into the Token by begin() and
+/// checked by finish() (debug builds, ATLC_DCHECK), so completing a fetch
+/// whose slot was already recycled aborts instead of silently returning
+/// another vertex's adjacency. Local and empty adjacencies resolve without
+/// consuming a slot and are exempt from the contract.
 class AdjacencyFetcher {
  public:
   AdjacencyFetcher(rma::RankCtx& ctx, const DistGraph& dg,
                    const EngineConfig& config);
 
-  /// In-flight adjacency fetch. At most two may exist concurrently (the
-  /// engine's current + prefetched next); each occupies one buffer slot.
+  /// In-flight adjacency fetch. At most ring_size() may exist concurrently
+  /// (the engine's current + prefetched next k-1); each remote non-empty
+  /// fetch occupies one ring slot until the slot is recycled.
   struct Token {
     bool local = false;
     std::span<const VertexId> local_span{};
-    int slot = 0;
+    std::size_t slot = 0;
+    std::uint64_t generation = 0;  ///< slot generation at begin() time
     std::uint64_t count = 0;
     VertexId degree = 0;
     bool cached = false;
@@ -40,12 +57,17 @@ class AdjacencyFetcher {
     rma::GetHandle handle{};
   };
 
-  /// Start fetching adj(v). Local vertices resolve immediately.
+  /// Start fetching adj(v). Local vertices resolve immediately. Claims the
+  /// least-recently-used ring slot for remote vertices, invalidating the
+  /// span of the fetch issued ring_size() remote begins ago.
   [[nodiscard]] Token begin(VertexId v);
 
-  /// Complete the fetch; the returned span stays valid until the slot is
-  /// reused (i.e. one more begin() after the next).
+  /// Complete the fetch; see the class comment for the returned span's
+  /// lifetime. Debug builds abort if t's slot was already recycled.
   [[nodiscard]] std::span<const VertexId> finish(const Token& t);
+
+  /// Number of fetch buffers (== the engine's effective pipeline depth).
+  [[nodiscard]] std::size_t ring_size() const { return buffers_.size(); }
 
   [[nodiscard]] bool has_offsets_cache() const {
     return c_offsets_.has_value();
@@ -69,8 +91,9 @@ class AdjacencyFetcher {
   const EngineConfig* config_;
   std::optional<clampi::CachedWindow<EdgeIndex>> c_offsets_;
   std::optional<clampi::CachedWindow<VertexId>> c_adj_;
-  std::vector<VertexId> buffers_[2];
-  int next_slot_ = 0;
+  std::vector<std::vector<VertexId>> buffers_;   ///< ring of depth slots
+  std::vector<std::uint64_t> generations_;       ///< per-slot recycle count
+  std::size_t next_slot_ = 0;
   std::uint64_t remote_fetches_ = 0;
   std::vector<std::uint64_t> remote_reads_;
 };

@@ -11,21 +11,20 @@ namespace atlc::core {
 /// benefit from the proposed approach", citing the communication-efficient
 /// Jaccard work [12]). The access pattern is identical to LCC — for each
 /// local edge (u, v), read adj(v) (possibly remote) and intersect with
-/// adj(u) — so the whole RMA + CLaMPI machinery is reused unchanged:
+/// adj(u) — so it is a ~20-line kernel over core::EdgePipeline:
 ///
 ///   J(u, v) = |adj(u) ∩ adj(v)| / |adj(u) ∪ adj(v)|
 ///
 /// Results are reported per adjacency slot: `similarity[k]` is J(u, v) for
 /// the k-th entry of the graph's adjacencies array (the edge u->v where u
 /// owns slot k). Link-prediction applications rank candidate edges by it.
-struct JaccardResult {
+/// The inherited EdgeAnalyticStats block (comm/cache/remote-read counters)
+/// is aggregated by run_edge_analytic exactly as for every other analytic.
+struct JaccardResult : EdgeAnalyticStats {
   std::vector<double> similarity;  ///< one per adjacency slot
-  rma::Runtime::Result run;
-  clampi::CacheStats adj_cache_total;
-  std::uint64_t remote_edges = 0;
 };
 
-/// Runs on the same EngineConfig as LCC (method, caching, double buffering,
+/// Runs on the same EngineConfig as LCC (method, caching, pipeline depth,
 /// partitioning all apply; `upper_triangle_only` must stay false).
 [[nodiscard]] JaccardResult run_distributed_jaccard(
     const CSRGraph& g, std::uint32_t ranks, const EngineConfig& config = {},

@@ -1,78 +1,15 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <vector>
 
 #include "atlc/clampi/cache.hpp"
-#include "atlc/clampi/config.hpp"
-#include "atlc/core/dist_graph.hpp"
+#include "atlc/core/edge_pipeline.hpp"
 #include "atlc/graph/csr.hpp"
 #include "atlc/graph/partition.hpp"
-#include "atlc/intersect/cost_model.hpp"
-#include "atlc/intersect/parallel.hpp"
 #include "atlc/rma/network_model.hpp"
 
 namespace atlc::core {
-
-/// Sizing of the two CLaMPI caches (paper Section IV-D2): from a total
-/// memory budget, C_offsets gets room for 0.4*|V| (start,end) pairs —
-/// 6.4*|V| bytes with this engine's 64-bit offsets, capped at half the
-/// budget — and C_adj takes the remainder (see paper_default in
-/// src/core/lcc.cpp).
-struct CacheSizing {
-  std::uint64_t offsets_bytes = 1u << 20;
-  std::uint64_t adj_bytes = 8u << 20;
-  std::size_t offsets_slots = 0;  ///< 0 = derive via paper heuristics
-  std::size_t adj_slots = 0;
-
-  /// The paper's allocation rule for a given graph size and budget.
-  static CacheSizing paper_default(VertexId num_vertices,
-                                   std::uint64_t total_budget_bytes);
-};
-
-/// Configuration of the distributed LCC/TC engine (paper Algorithm 3).
-struct EngineConfig {
-  intersect::Method method = intersect::Method::Hybrid;
-
-  /// Compute-cost model for virtual-time charging (see
-  /// intersect/cost_model.hpp). Benches calibrate this once on startup.
-  intersect::CostModel cost{};
-
-  /// Enable CLaMPI caching (paper Section III-B). `cache_offsets` /
-  /// `cache_adj` select which of the two windows is cached — paper Fig. 7
-  /// studies each window's cache in isolation.
-  bool use_cache = false;
-  bool cache_offsets = true;
-  bool cache_adj = true;
-  CacheSizing cache_sizing{};
-  /// Victim selection: LruPositional = CLaMPI default scores;
-  /// UserScore = this paper's degree-centrality extension (Fig. 8).
-  clampi::VictimPolicy victim_policy = clampi::VictimPolicy::LruPositional;
-  bool cache_adaptive = false;
-
-  /// Overlap the adjacency transfer of edge e_{i+1} with the intersection
-  /// of edge e_i (paper Section III-A double buffering).
-  bool double_buffer = true;
-
-  /// Count only common neighbors k > j (upper-triangle de-duplication,
-  /// paper Section II-C). Halves work for global TC; per-vertex LCC needs
-  /// the full count, so LCC runs keep this false.
-  bool upper_triangle_only = false;
-
-  /// OpenMP-parallel intersection (paper Section III-C). Off by default in
-  /// distributed runs: ranks are already threads in this simulation.
-  bool parallel_intersect = false;
-  intersect::ParallelConfig parallel{};
-
-  /// Record, per target global vertex, how many remote reads it received
-  /// (drives paper Figs. 1, 4, 5). Costs one counter array per rank.
-  bool track_remote_reads = false;
-
-  /// Snapshot the C_adj cache contents at the end of the compute phase
-  /// (drives paper Fig. 5 right: entry sizes vs reuse).
-  bool dump_cache_entries = false;
-};
 
 /// Per-rank outcome of the compute phase.
 struct RankResult {
@@ -86,34 +23,27 @@ struct RankResult {
   std::vector<clampi::EntryInfo> adj_cache_entries;  ///< optional snapshot
 };
 
-/// Paper Algorithm 3 body for one rank: count triangles for every locally
-/// owned vertex, reading remote adjacency lists through the two-get RMA
-/// protocol (optionally cached), and derive LCC scores.
+/// Paper Algorithm 3 body for one rank, as an EdgePipeline kernel: count
+/// triangles for every locally owned vertex, reading remote adjacency lists
+/// through the two-get RMA protocol (optionally cached), and derive LCC
+/// scores. The 3-argument overload builds its own pipeline and fills the
+/// RankResult stats block; the 4-argument overload drives a caller-provided
+/// pipeline and fills only the per-vertex outputs — its caller (the
+/// run_edge_analytic driver) harvests the pipeline counters itself.
 [[nodiscard]] RankResult compute_lcc_rank(rma::RankCtx& ctx,
                                           const DistGraph& dg,
                                           const EngineConfig& config);
+[[nodiscard]] RankResult compute_lcc_rank(rma::RankCtx& ctx,
+                                          const DistGraph& dg,
+                                          const EngineConfig& config,
+                                          EdgePipeline& pipeline);
 
-/// Aggregated outcome of a full distributed run.
-struct RunResult {
+/// Aggregated outcome of a full distributed run: the per-analytic outputs
+/// plus the stats block every edge analytic shares (edge_pipeline.hpp).
+struct RunResult : EdgeAnalyticStats {
   std::vector<std::uint64_t> triangles;  ///< per global vertex
   std::vector<double> lcc;               ///< per global vertex
   std::uint64_t global_triangles = 0;    ///< distinct triangles (undirected)
-  rma::Runtime::Result run;              ///< per-rank comm stats + clocks
-  clampi::CacheStats offsets_cache_total;
-  clampi::CacheStats adj_cache_total;
-  std::uint64_t edges_processed = 0;
-  std::uint64_t remote_edges = 0;
-  std::vector<std::uint64_t> remote_reads;  ///< per global vertex, optional
-  std::vector<clampi::EntryInfo> adj_cache_entries;  ///< all ranks, optional
-
-  /// Fraction of processed edges requiring a remote adjacency fetch
-  /// (paper Section IV-D2: 66% -> 98% for R-MAT S21 EF16, p=4 -> 64).
-  [[nodiscard]] double remote_edge_fraction() const {
-    return edges_processed
-               ? static_cast<double>(remote_edges) /
-                     static_cast<double>(edges_processed)
-               : 0.0;
-  }
 };
 
 /// Convenience driver: partition `g` over `ranks` simulated ranks, run the

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <span>
 
@@ -53,5 +54,29 @@ enum class Method : std::uint8_t {
 /// Trim `s` to the suffix with elements strictly greater than `floor`.
 [[nodiscard]] std::span<const VertexId> suffix_above(
     std::span<const VertexId> s, VertexId floor);
+
+/// Visit every element of a ∩ b in ascending order (two-pointer merge, the
+/// SSI walk of paper Algorithm 2 with a visitor instead of a counter).
+/// Kernels that need the common neighbors themselves — Adamic–Adar weights
+/// each by its degree — use this; its virtual-time cost is charged as an
+/// SSI intersection (CostModel::seconds(Method::SSI, |a|, |b|)) since it
+/// performs exactly that merge. Preconditions: sorted, no duplicates.
+template <typename F>
+  requires std::invocable<F&, VertexId>
+void for_each_common(std::span<const VertexId> a, std::span<const VertexId> b,
+                     F&& visit) {
+  std::size_t i = 0, k = 0;
+  while (i < a.size() && k < b.size()) {
+    if (a[i] < b[k]) {
+      ++i;
+    } else if (b[k] < a[i]) {
+      ++k;
+    } else {
+      visit(a[i]);
+      ++i;
+      ++k;
+    }
+  }
+}
 
 }  // namespace atlc::intersect

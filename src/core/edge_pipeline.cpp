@@ -1,0 +1,53 @@
+#include "atlc/core/edge_pipeline.hpp"
+
+#include <algorithm>
+
+namespace atlc::core {
+
+CacheSizing CacheSizing::paper_default(VertexId num_vertices,
+                                       std::uint64_t total_budget_bytes) {
+  // Paper Section IV-D2: of the total cache budget, C_offsets gets enough
+  // space for 0.4*|V| entries (each a (start, end) pair) and C_adj the rest.
+  CacheSizing s;
+  const std::uint64_t offsets_entries =
+      std::max<std::uint64_t>(16, static_cast<std::uint64_t>(
+                                      0.4 * static_cast<double>(num_vertices)));
+  s.offsets_bytes = offsets_entries * 2 * sizeof(graph::EdgeIndex);
+  if (s.offsets_bytes > total_budget_bytes / 2)
+    s.offsets_bytes = total_budget_bytes / 2;
+  s.adj_bytes = std::max<std::uint64_t>(1024, total_budget_bytes - s.offsets_bytes);
+  return s;
+}
+
+PipelineRankStats EdgePipeline::harvest() {
+  PipelineRankStats ps;
+  ps.edges_processed = edges_run_;
+  ps.remote_edges = fetcher_.remote_fetches();
+  if (fetcher_.has_offsets_cache())
+    ps.offsets_cache = fetcher_.offsets_cache().stats();
+  if (fetcher_.has_adj_cache()) {
+    ps.adj_cache = fetcher_.adj_cache().stats();
+    if (config_->dump_cache_entries)
+      ps.adj_cache_entries = fetcher_.adj_cache().entries();
+  }
+  if (config_->track_remote_reads) ps.remote_reads = fetcher_.remote_reads();
+  return ps;
+}
+
+void EdgeAnalyticStats::absorb(PipelineRankStats&& rank) {
+  edges_processed += rank.edges_processed;
+  remote_edges += rank.remote_edges;
+  offsets_cache_total += rank.offsets_cache;
+  adj_cache_total += rank.adj_cache;
+  if (!rank.remote_reads.empty()) {
+    if (remote_reads.size() < rank.remote_reads.size())
+      remote_reads.resize(rank.remote_reads.size(), 0);
+    for (std::size_t v = 0; v < rank.remote_reads.size(); ++v)
+      remote_reads[v] += rank.remote_reads[v];
+  }
+  adj_cache_entries.insert(adj_cache_entries.end(),
+                           std::make_move_iterator(rank.adj_cache_entries.begin()),
+                           std::make_move_iterator(rank.adj_cache_entries.end()));
+}
+
+}  // namespace atlc::core

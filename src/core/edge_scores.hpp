@@ -1,0 +1,52 @@
+#pragma once
+
+// Internal scaffolding shared by the per-edge score analytics (Jaccard,
+// overlap coefficient, Adamic–Adar): one driver owning the edge-slot
+// mapping and the score-vector layout, so the slot arithmetic exists in
+// exactly one place. Analytic kernels only compute the score of one edge.
+// Not installed — include/atlc/core/{jaccard,similarity}.hpp are the
+// public surfaces.
+
+#include <span>
+#include <vector>
+
+#include "atlc/core/edge_pipeline.hpp"
+#include "atlc/util/check.hpp"
+
+namespace atlc::core::detail {
+
+/// Run a per-edge score analytic through run_edge_analytic: `scores` is
+/// laid out per adjacency slot of the *global* CSR (the edge u->v where u
+/// owns slot k), `setup(ctx, dg)` runs once per rank before the pipeline
+/// and its result is handed to every kernel call, and
+/// `score_edge(ctx, state, adj_v, adj_j)` returns the score of one edge.
+/// Returns the uniformly aggregated stats block.
+template <typename Setup, typename ScoreEdge>
+[[nodiscard]] EdgeAnalyticStats run_edge_scores(
+    const CSRGraph& g, std::uint32_t ranks, const EngineConfig& config,
+    const rma::NetworkModel& net, graph::PartitionKind partition_kind,
+    std::vector<double>& scores, Setup&& setup, ScoreEdge&& score_edge) {
+  ATLC_CHECK(!config.upper_triangle_only,
+             "per-edge scores need full intersections per edge");
+  scores.assign(g.num_edges(), 0.0);
+
+  return run_edge_analytic(
+      g, ranks, config, net, partition_kind,
+      [&](rma::RankCtx& ctx, const DistGraph& dg, EdgePipeline& pipeline) {
+        auto state = setup(ctx, dg);
+        // Global slot of each local edge: adjacency slots are laid out per
+        // owning vertex, so local slot ei of local vertex lv maps to
+        // offsets(global v) + (ei - local offsets(lv)).
+        EdgeIndex ei = 0;
+        pipeline.run([&](VertexId lv, VertexId, std::span<const VertexId> adj_v,
+                         std::span<const VertexId> adj_j) {
+          const VertexId v_global = dg.partition.global_id(ctx.rank(), lv);
+          const EdgeIndex global_slot =
+              g.offsets()[v_global] + (ei - dg.offsets[lv]);
+          scores[global_slot] = score_edge(ctx, state, adj_v, adj_j);
+          ++ei;
+        });
+      });
+}
+
+}  // namespace atlc::core::detail

@@ -65,7 +65,11 @@ clampi::CacheConfig adj_cache_config(const EngineConfig& cfg,
 
 AdjacencyFetcher::AdjacencyFetcher(rma::RankCtx& ctx, const DistGraph& dg,
                                    const EngineConfig& config)
-    : ctx_(&ctx), dg_(&dg), config_(&config) {
+    : ctx_(&ctx),
+      dg_(&dg),
+      config_(&config),
+      buffers_(config.effective_pipeline_depth()),
+      generations_(config.effective_pipeline_depth(), 0) {
   if (config.use_cache && config.cache_offsets)
     c_offsets_.emplace(ctx, dg.w_offsets, offsets_cache_config(config));
   if (config.use_cache && config.cache_adj)
@@ -110,8 +114,11 @@ AdjacencyFetcher::Token AdjacencyFetcher::begin(VertexId v) {
 
   // Step 2 (overlappable): the adjacency list itself. The out-degree just
   // learned becomes the application-defined eviction score (Section III-B2).
+  // Claiming the slot recycles it: any span still aliasing it is dead, and
+  // the bumped generation makes a late finish() on it abort in debug builds.
   t.slot = next_slot_;
-  next_slot_ ^= 1;
+  next_slot_ = (next_slot_ + 1) % buffers_.size();
+  t.generation = ++generations_[t.slot];
   auto& buf = buffers_[t.slot];
   buf.resize(t.count);
   if (c_adj_) {
@@ -126,6 +133,10 @@ AdjacencyFetcher::Token AdjacencyFetcher::begin(VertexId v) {
 
 std::span<const VertexId> AdjacencyFetcher::finish(const Token& t) {
   if (t.local) return t.local_span;
+  ATLC_DCHECK(generations_[t.slot] == t.generation,
+              "fetch ring slot recycled before finish(): more than "
+              "pipeline_depth fetches in flight (see the span-lifetime "
+              "contract in fetcher.hpp)");
   if (t.cached) {
     c_adj_->finish(t.pending);
   } else {

@@ -1,7 +1,7 @@
 #include "atlc/core/jaccard.hpp"
 
-#include "atlc/core/fetcher.hpp"
-#include "atlc/util/check.hpp"
+#include "atlc/intersect/intersect.hpp"
+#include "edge_scores.hpp"
 
 namespace atlc::core {
 
@@ -33,66 +33,18 @@ JaccardResult run_distributed_jaccard(const CSRGraph& g, std::uint32_t ranks,
                                       const EngineConfig& config,
                                       const rma::NetworkModel& net,
                                       graph::PartitionKind partition_kind) {
-  ATLC_CHECK(!config.upper_triangle_only,
-             "Jaccard needs full intersections per edge");
-  const Partition partition(partition_kind, g.num_vertices(), ranks);
-
   JaccardResult out;
-  out.similarity.assign(g.num_edges(), 0.0);
-  std::vector<clampi::CacheStats> adj_stats(ranks);
-  std::vector<std::uint64_t> remote_counts(ranks, 0);
-
-  rma::Runtime::Options opts;
-  opts.ranks = ranks;
-  opts.net = net;
-  out.run = rma::Runtime::run(opts, [&](rma::RankCtx& ctx) {
-    const DistGraph dg = build_dist_graph(ctx, g, partition);
-    AdjacencyFetcher fetcher(ctx, dg, config);
-    const EdgeIndex m_local = dg.adjacencies.size();
-
-    // Global slot of this rank's first edge: adjacency slots are laid out
-    // per owning vertex, so local slot k of local vertex lv maps to
-    // offsets(global v) + (k - local offsets(lv)).
-    AdjacencyFetcher::Token current;
-    bool have_current = false;
-    if (config.double_buffer && m_local > 0) {
-      current = fetcher.begin(dg.adjacencies[0]);
-      have_current = true;
-    }
-    VertexId lv = 0;
-    for (EdgeIndex ei = 0; ei < m_local; ++ei) {
-      while (dg.offsets[lv + 1] <= ei) ++lv;
-      const VertexId j = dg.adjacencies[ei];
-      if (!have_current) current = fetcher.begin(j);
-      const auto adj_j = fetcher.finish(current);
-      have_current = false;
-      if (config.double_buffer && ei + 1 < m_local) {
-        current = fetcher.begin(dg.adjacencies[ei + 1]);
-        have_current = true;
-      }
-      const auto adj_v = dg.local_neighbors(lv);
-      const std::uint64_t common =
-          intersect::count_common(adj_v, adj_j, config.method);
-      ctx.charge_compute(
-          config.cost.seconds(config.method, adj_v.size(), adj_j.size()));
-
-      const VertexId v_global = partition.global_id(ctx.rank(), lv);
-      const EdgeIndex global_slot =
-          g.offsets()[v_global] + (ei - dg.offsets[lv]);
-      out.similarity[global_slot] =
-          jaccard_from_counts(common, adj_v.size(), adj_j.size());
-    }
-
-    remote_counts[ctx.rank()] = fetcher.remote_fetches();
-    if (fetcher.has_adj_cache())
-      adj_stats[ctx.rank()] = fetcher.adj_cache().stats();
-    ctx.barrier();
-  });
-
-  for (std::uint32_t r = 0; r < ranks; ++r) {
-    out.adj_cache_total += adj_stats[r];
-    out.remote_edges += remote_counts[r];
-  }
+  static_cast<EdgeAnalyticStats&>(out) = detail::run_edge_scores(
+      g, ranks, config, net, partition_kind, out.similarity,
+      [](rma::RankCtx&, const DistGraph&) { return 0; },
+      [&config](rma::RankCtx& ctx, int, std::span<const VertexId> adj_v,
+                std::span<const VertexId> adj_j) {
+        const std::uint64_t common =
+            intersect::count_common(adj_v, adj_j, config.method);
+        ctx.charge_compute(
+            config.cost.seconds(config.method, adj_v.size(), adj_j.size()));
+        return jaccard_from_counts(common, adj_v.size(), adj_j.size());
+      });
   return out;
 }
 

@@ -1,92 +1,71 @@
 #include "atlc/core/lcc.hpp"
 
-#include <algorithm>
+#include <span>
+#include <vector>
 
-#include "atlc/core/fetcher.hpp"
 #include "atlc/graph/reference.hpp"
+#include "atlc/intersect/intersect.hpp"
 #include "atlc/util/check.hpp"
 
 namespace atlc::core {
 
-CacheSizing CacheSizing::paper_default(VertexId num_vertices,
-                                       std::uint64_t total_budget_bytes) {
-  // Paper Section IV-D2: of the total cache budget, C_offsets gets enough
-  // space for 0.4*|V| entries (each a (start, end) pair) and C_adj the rest.
-  CacheSizing s;
-  const std::uint64_t offsets_entries =
-      std::max<std::uint64_t>(16, static_cast<std::uint64_t>(
-                                      0.4 * static_cast<double>(num_vertices)));
-  s.offsets_bytes = offsets_entries * 2 * sizeof(EdgeIndex);
-  if (s.offsets_bytes > total_budget_bytes / 2)
-    s.offsets_bytes = total_budget_bytes / 2;
-  s.adj_bytes = std::max<std::uint64_t>(1024, total_budget_bytes - s.offsets_bytes);
-  return s;
-}
+namespace {
 
-RankResult compute_lcc_rank(rma::RankCtx& ctx, const DistGraph& dg,
-                            const EngineConfig& config) {
-  const VertexId n_local = dg.num_local();
-  const EdgeIndex m_local = dg.adjacencies.size();
-
-  RankResult r;
-  r.triangles.assign(n_local, 0);
-  r.lcc.assign(n_local, 0.0);
-  r.edges_processed = m_local;
-
-  AdjacencyFetcher fetcher(ctx, dg, config);
-
-  // Paper Algorithm 3 with a one-deep pipeline over the flattened edge
-  // stream: finish the fetch for edge e_i, immediately start the fetch for
-  // e_{i+1}, then intersect for e_i — the e_{i+1} transfer rides under the
-  // intersection in virtual time (Section III-A double buffering).
-  AdjacencyFetcher::Token current;
-  bool have_current = false;
-  if (config.double_buffer && m_local > 0) {
-    current = fetcher.begin(dg.adjacencies[0]);
-    have_current = true;
-  }
-
-  VertexId lv = 0;
-  for (EdgeIndex ei = 0; ei < m_local; ++ei) {
-    while (dg.offsets[lv + 1] <= ei) ++lv;
-    const VertexId j = dg.adjacencies[ei];
-
-    if (!have_current) current = fetcher.begin(j);
-    const auto adj_j = fetcher.finish(current);
-    have_current = false;
-    if (config.double_buffer && ei + 1 < m_local) {
-      current = fetcher.begin(dg.adjacencies[ei + 1]);
-      have_current = true;
-    }
-
-    auto adj_v = dg.local_neighbors(lv);
+/// The LCC/TC edge kernel (paper Algorithm 3 inner loop): intersect adj(v)
+/// with the fetched adj(j), optionally restricted to the upper triangle,
+/// charge the intersection's modeled cost, and accumulate t(v).
+auto lcc_kernel(rma::RankCtx& ctx, const EngineConfig& config,
+                std::vector<std::uint64_t>& triangles) {
+  return [&ctx, &config, &triangles](VertexId lv, VertexId j,
+                                     std::span<const VertexId> adj_v,
+                                     std::span<const VertexId> adj_j) {
+    auto lhs = adj_v;
     auto rhs = adj_j;
     if (config.upper_triangle_only) {
-      adj_v = intersect::suffix_above(adj_v, j);
+      lhs = intersect::suffix_above(lhs, j);
       rhs = intersect::suffix_above(rhs, j);
     }
     const std::uint64_t common =
         config.parallel_intersect
-            ? intersect::count_common_parallel(adj_v, rhs, config.method,
+            ? intersect::count_common_parallel(lhs, rhs, config.method,
                                                config.parallel)
-            : intersect::count_common(adj_v, rhs, config.method);
-    ctx.charge_compute(config.cost.seconds(config.method, adj_v.size(),
+            : intersect::count_common(lhs, rhs, config.method);
+    ctx.charge_compute(config.cost.seconds(config.method, lhs.size(),
                                            rhs.size()));
-    r.triangles[lv] += common;
-  }
+    triangles[lv] += common;
+  };
+}
+
+}  // namespace
+
+RankResult compute_lcc_rank(rma::RankCtx& ctx, const DistGraph& dg,
+                            const EngineConfig& config,
+                            EdgePipeline& pipeline) {
+  const VertexId n_local = dg.num_local();
+
+  RankResult r;
+  r.triangles.assign(n_local, 0);
+  r.lcc.assign(n_local, 0.0);
+
+  pipeline.run(lcc_kernel(ctx, config, r.triangles));
 
   for (VertexId v = 0; v < n_local; ++v)
     r.lcc[v] = graph::lcc_score(r.triangles[v], dg.local_degree(v));
+  return r;
+}
 
-  r.remote_edges = fetcher.remote_fetches();
-  if (fetcher.has_offsets_cache())
-    r.offsets_cache = fetcher.offsets_cache().stats();
-  if (fetcher.has_adj_cache()) {
-    r.adj_cache = fetcher.adj_cache().stats();
-    if (config.dump_cache_entries)
-      r.adj_cache_entries = fetcher.adj_cache().entries();
-  }
-  if (config.track_remote_reads) r.remote_reads = fetcher.remote_reads();
+RankResult compute_lcc_rank(rma::RankCtx& ctx, const DistGraph& dg,
+                            const EngineConfig& config) {
+  EdgePipeline pipeline(ctx, dg, config);
+  RankResult r = compute_lcc_rank(ctx, dg, config, pipeline);
+
+  PipelineRankStats ps = pipeline.harvest();
+  r.edges_processed = ps.edges_processed;
+  r.remote_edges = ps.remote_edges;
+  r.offsets_cache = ps.offsets_cache;
+  r.adj_cache = ps.adj_cache;
+  r.remote_reads = std::move(ps.remote_reads);
+  r.adj_cache_entries = std::move(ps.adj_cache_entries);
   return r;
 }
 
@@ -95,45 +74,22 @@ namespace {
 RunResult run_engine(const CSRGraph& g, std::uint32_t ranks,
                      const EngineConfig& config, const rma::NetworkModel& net,
                      graph::PartitionKind partition_kind) {
-  const Partition partition(partition_kind, g.num_vertices(), ranks);
-
   RunResult out;
   out.triangles.assign(g.num_vertices(), 0);
   out.lcc.assign(g.num_vertices(), 0.0);
-  if (config.track_remote_reads)
-    out.remote_reads.assign(g.num_vertices(), 0);
 
-  std::vector<RankResult> rank_results(ranks);
-
-  rma::Runtime::Options opts;
-  opts.ranks = ranks;
-  opts.net = net;
-  out.run = rma::Runtime::run(opts, [&](rma::RankCtx& ctx) {
-    const DistGraph dg = build_dist_graph(ctx, g, partition);
-    RankResult rr = compute_lcc_rank(ctx, dg, config);
-    // Scatter per-vertex results into the global arrays. Ranks own disjoint
-    // vertex sets, so no synchronisation is needed.
-    for (VertexId lvx = 0; lvx < dg.num_local(); ++lvx) {
-      const VertexId v = partition.global_id(ctx.rank(), lvx);
-      out.triangles[v] = rr.triangles[lvx];
-      out.lcc[v] = rr.lcc[lvx];
-    }
-    rank_results[ctx.rank()] = std::move(rr);
-    ctx.barrier();  // end-of-epoch synchronisation (teardown only)
-  });
-
-  for (const auto& rr : rank_results) {
-    out.edges_processed += rr.edges_processed;
-    out.remote_edges += rr.remote_edges;
-    out.offsets_cache_total += rr.offsets_cache;
-    out.adj_cache_total += rr.adj_cache;
-    if (!rr.remote_reads.empty())
-      for (std::size_t v = 0; v < rr.remote_reads.size(); ++v)
-        out.remote_reads[v] += rr.remote_reads[v];
-    out.adj_cache_entries.insert(out.adj_cache_entries.end(),
-                                 rr.adj_cache_entries.begin(),
-                                 rr.adj_cache_entries.end());
-  }
+  static_cast<EdgeAnalyticStats&>(out) = run_edge_analytic(
+      g, ranks, config, net, partition_kind,
+      [&](rma::RankCtx& ctx, const DistGraph& dg, EdgePipeline& pipeline) {
+        const RankResult rr = compute_lcc_rank(ctx, dg, config, pipeline);
+        // Scatter per-vertex results into the global arrays. Ranks own
+        // disjoint vertex sets, so no synchronisation is needed.
+        for (VertexId lv = 0; lv < dg.num_local(); ++lv) {
+          const VertexId v = dg.partition.global_id(ctx.rank(), lv);
+          out.triangles[v] = rr.triangles[lv];
+          out.lcc[v] = rr.lcc[lv];
+        }
+      });
 
   std::uint64_t sum = 0;
   for (auto t : out.triangles) sum += t;

@@ -41,11 +41,15 @@ TEST(FailureInjection, CrashBeforeWindowCreation) {
 }
 
 TEST(FailureInjection, CrashAfterWindowCreation) {
+  // Exposed buffers must outlive every remote access (DESIGN.md §3) even
+  // when the owner dies mid-epoch: rank 3 unwinds while its peers still
+  // get from its window, so the storage lives outside the rank bodies.
+  std::vector<std::vector<int>> local(4, std::vector<int>(8, 1));
   EXPECT_THROW(
       rma::Runtime::run(opts(4),
                         [&](rma::RankCtx& ctx) {
-                          std::vector<int> local(8, 1);
-                          auto win = ctx.create_window<int>(local);
+                          auto win = ctx.create_window<int>(
+                              std::span<const int>(local[ctx.rank()]));
                           if (ctx.rank() == 3)
                             throw std::runtime_error("post-window death");
                           int buf;

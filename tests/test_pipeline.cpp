@@ -1,0 +1,373 @@
+// Tests for the generic depth-k edge-pipeline engine (core::EdgePipeline):
+// correctness at every depth, equivalence with the pre-refactor
+// double-buffer loop in virtual time, the fetcher ring's span-lifetime
+// contract, and the similarity analytics built as kernels on the engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "atlc/core/edge_pipeline.hpp"
+#include "atlc/core/fetcher.hpp"
+#include "atlc/core/jaccard.hpp"
+#include "atlc/core/lcc.hpp"
+#include "atlc/core/similarity.hpp"
+#include "atlc/graph/reference.hpp"
+#include "test_support.hpp"
+
+namespace atlc::core {
+namespace {
+
+using graph::CSRGraph;
+using graph::Directedness;
+using graph::EdgeList;
+using testsupport::expect_matches_reference;
+using testsupport::paper_example;
+using testsupport::rmat_graph;
+
+EngineConfig depth_config(std::size_t k) {
+  EngineConfig cfg;
+  cfg.pipeline_depth = k;
+  return cfg;
+}
+
+/// Directed graph with zero-OUT-degree vertices that other ranks must
+/// fetch remotely: the two-get protocol's empty-adjacency path (the fetch
+/// resolves after step 1 without consuming a ring slot).
+CSRGraph directed_with_sinks() {
+  EdgeList e(8, {}, Directedness::Directed);
+  // 3 and 7 are sinks (out-degree 0, in-degree > 0); triangles 0->1->2->0
+  // transitive triads plus fan-in edges onto the sinks.
+  for (auto [u, v] : std::initializer_list<std::pair<int, int>>{
+           {0, 1}, {1, 2}, {0, 2}, {2, 3}, {0, 3}, {1, 3}, {4, 5}, {5, 6},
+           {4, 6}, {6, 7}, {4, 7}, {2, 4}, {1, 7}})
+    e.add_edge(u, v);
+  return CSRGraph::from_edges(e);
+}
+
+// ------------------------------------------------------- depth sweep, LCC ---
+
+class PipelineDepth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PipelineDepth, LccMatchesReferenceOnPaperExample) {
+  const CSRGraph g = paper_example();
+  expect_matches_reference(
+      g, run_distributed_lcc(g, 3, depth_config(GetParam())));
+}
+
+TEST_P(PipelineDepth, LccMatchesReferenceOnRmat) {
+  const CSRGraph g = rmat_graph(9, 8, 31);
+  expect_matches_reference(
+      g, run_distributed_lcc(g, 4, depth_config(GetParam())));
+}
+
+TEST_P(PipelineDepth, LccMatchesReferenceOnDirectedRmat) {
+  const CSRGraph g = rmat_graph(8, 8, 32, Directedness::Directed);
+  expect_matches_reference(
+      g, run_distributed_lcc(g, 4, depth_config(GetParam())));
+}
+
+TEST_P(PipelineDepth, LccMatchesReferenceSingleRank) {
+  const CSRGraph g = rmat_graph(8, 8, 33);
+  expect_matches_reference(
+      g, run_distributed_lcc(g, 1, depth_config(GetParam())));
+}
+
+TEST_P(PipelineDepth, LccMatchesReferenceWithCaching) {
+  const CSRGraph g = rmat_graph(9, 8, 34);
+  EngineConfig cfg = depth_config(GetParam());
+  cfg.use_cache = true;
+  cfg.cache_sizing = CacheSizing::paper_default(g.num_vertices(), 1 << 19);
+  expect_matches_reference(g, run_distributed_lcc(g, 4, cfg));
+}
+
+TEST_P(PipelineDepth, ZeroOutDegreeVerticesFetchedRemotely) {
+  const CSRGraph g = directed_with_sinks();
+  // 4 ranks over 8 vertices: the sinks (3, 7) are remote to most ranks.
+  expect_matches_reference(
+      g, run_distributed_lcc(g, 4, depth_config(GetParam())));
+}
+
+TEST_P(PipelineDepth, TcGlobalCountMatches) {
+  const CSRGraph g = rmat_graph(8, 8, 35);
+  const auto ref = graph::reference_lcc(g);
+  EXPECT_EQ(run_distributed_tc(g, 4, depth_config(GetParam())),
+            ref.global_triangles);
+}
+
+TEST_P(PipelineDepth, JaccardMatchesReference) {
+  const CSRGraph g = rmat_graph(8, 8, 36);
+  const auto ref = reference_jaccard(g);
+  const auto r = run_distributed_jaccard(g, 4, depth_config(GetParam()));
+  ASSERT_EQ(r.similarity.size(), ref.size());
+  for (std::size_t k = 0; k < ref.size(); ++k)
+    ASSERT_DOUBLE_EQ(r.similarity[k], ref[k]) << "slot " << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, PipelineDepth,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{4}, std::size_t{8}));
+
+// --------------------------------------- virtual-time depth-2 equivalence ---
+
+/// The pre-refactor Algorithm 3 loop, verbatim: a two-slot double buffer
+/// driven directly against the fetcher (finish e_i; begin e_{i+1};
+/// intersect e_i). The EdgePipeline at depth 2 must issue the identical
+/// begin/finish/charge sequence, hence bit-identical virtual makespans.
+double legacy_double_buffer_makespan(const CSRGraph& g, std::uint32_t ranks,
+                                     const EngineConfig& config) {
+  const graph::Partition partition(graph::PartitionKind::Block1D,
+                                   g.num_vertices(), ranks);
+  rma::Runtime::Options opts;
+  opts.ranks = ranks;
+  const auto run = rma::Runtime::run(opts, [&](rma::RankCtx& ctx) {
+    const DistGraph dg = build_dist_graph(ctx, g, partition);
+    AdjacencyFetcher fetcher(ctx, dg, config);
+    const EdgeIndex m_local = dg.adjacencies.size();
+
+    AdjacencyFetcher::Token current;
+    bool have_current = false;
+    if (m_local > 0) {
+      current = fetcher.begin(dg.adjacencies[0]);
+      have_current = true;
+    }
+    VertexId lv = 0;
+    std::uint64_t sink = 0;
+    for (EdgeIndex ei = 0; ei < m_local; ++ei) {
+      while (dg.offsets[lv + 1] <= ei) ++lv;
+      if (!have_current) current = fetcher.begin(dg.adjacencies[ei]);
+      const auto adj_j = fetcher.finish(current);
+      have_current = false;
+      if (ei + 1 < m_local) {
+        current = fetcher.begin(dg.adjacencies[ei + 1]);
+        have_current = true;
+      }
+      const auto adj_v = dg.local_neighbors(lv);
+      sink += intersect::count_common(adj_v, adj_j, config.method);
+      ctx.charge_compute(
+          config.cost.seconds(config.method, adj_v.size(), adj_j.size()));
+    }
+    EXPECT_GT(sink + 1, 0u);  // keep the loop observable
+    ctx.barrier();
+  });
+  return run.makespan;
+}
+
+TEST(PipelineEquivalence, Depth2MakespanBitIdenticalToLegacyDoubleBuffer) {
+  const CSRGraph g = rmat_graph(8, 8, 37);
+  for (std::uint32_t ranks : {2u, 4u}) {
+    EngineConfig cfg;  // double_buffer=true, pipeline_depth=2: paper engine
+    const double engine = run_distributed_lcc(g, ranks, cfg).run.makespan;
+    const double legacy = legacy_double_buffer_makespan(g, ranks, cfg);
+    EXPECT_EQ(engine, legacy) << "ranks=" << ranks;
+  }
+}
+
+TEST(PipelineEquivalence, Depth2MakespanBitIdenticalToLegacyCached) {
+  const CSRGraph g = rmat_graph(8, 8, 38);
+  EngineConfig cfg;
+  cfg.use_cache = true;
+  cfg.cache_sizing = CacheSizing::paper_default(g.num_vertices(), 1 << 18);
+  const double engine = run_distributed_lcc(g, 4, cfg).run.makespan;
+  const double legacy = legacy_double_buffer_makespan(g, 4, cfg);
+  EXPECT_EQ(engine, legacy);
+}
+
+TEST(PipelineEquivalence, Depth1EqualsNoOverlapSwitch) {
+  // Both spellings of "no overlap" — double_buffer=false and
+  // pipeline_depth=1 — must price identically.
+  const CSRGraph g = rmat_graph(8, 8, 39);
+  EngineConfig off;
+  off.double_buffer = false;
+  const double t_off = run_distributed_lcc(g, 4, off).run.makespan;
+  const double t_k1 = run_distributed_lcc(g, 4, depth_config(1)).run.makespan;
+  EXPECT_EQ(t_off, t_k1);
+}
+
+TEST(PipelineBehaviour, DeeperPipelineNeverSlower) {
+  const CSRGraph g = rmat_graph(9, 16, 40);
+  double prev = run_distributed_lcc(g, 4, depth_config(1)).run.makespan;
+  for (std::size_t k : {2u, 4u, 8u}) {
+    const double t = run_distributed_lcc(g, 4, depth_config(k)).run.makespan;
+    EXPECT_LE(t, prev + 1e-12) << "depth " << k;
+    prev = t;
+  }
+}
+
+TEST(PipelineBehaviour, ResultsInvariantAcrossDepths) {
+  const CSRGraph g = rmat_graph(9, 8, 41);
+  const auto base = run_distributed_lcc(g, 4, depth_config(1));
+  for (std::size_t k : {2u, 4u, 8u}) {
+    const auto r = run_distributed_lcc(g, 4, depth_config(k));
+    ASSERT_EQ(r.triangles, base.triangles) << "depth " << k;
+    EXPECT_EQ(r.remote_edges, base.remote_edges) << "depth " << k;
+  }
+}
+
+// ------------------------------------------------- fetcher ring contract ---
+
+TEST(FetcherRing, RingSizeFollowsEffectiveDepth) {
+  const CSRGraph g = rmat_graph(7, 8, 42);
+  const graph::Partition part(graph::PartitionKind::Block1D, g.num_vertices(),
+                              2);
+  rma::Runtime::Options o;
+  o.ranks = 2;
+  rma::Runtime::run(o, [&](rma::RankCtx& ctx) {
+    const DistGraph dg = build_dist_graph(ctx, g, part);
+    for (std::size_t k : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+      const EngineConfig cfg = depth_config(k);
+      AdjacencyFetcher fetcher(ctx, dg, cfg);
+      EXPECT_EQ(fetcher.ring_size(), k);
+    }
+    EngineConfig off;
+    off.double_buffer = false;
+    off.pipeline_depth = 8;
+    AdjacencyFetcher fetcher(ctx, dg, off);
+    EXPECT_EQ(fetcher.ring_size(), 1u);  // double_buffer=false maps to 1
+    ctx.barrier();
+  });
+}
+
+#ifndef NDEBUG
+TEST(FetcherRing, FinishAfterSlotRecycleAbortsInDebug) {
+  testsupport::use_threadsafe_death_tests();
+  const CSRGraph g = rmat_graph(7, 8, 43);
+  const graph::Partition part(graph::PartitionKind::Block1D, g.num_vertices(),
+                              2);
+  EXPECT_DEATH(
+      {
+        rma::Runtime::Options o;
+        o.ranks = 2;
+        rma::Runtime::run(o, [&](rma::RankCtx& ctx) {
+          const DistGraph dg = build_dist_graph(ctx, g, part);
+          const EngineConfig cfg = depth_config(2);  // ring of 2 slots
+          AdjacencyFetcher fetcher(ctx, dg, cfg);
+          // Find three remote, non-empty vertices and overfill the ring.
+          std::vector<VertexId> remote;
+          for (VertexId v = 0;
+               v < g.num_vertices() && remote.size() < 3; ++v)
+            if (part.owner(v) != ctx.rank() && g.degree(v) > 0)
+              remote.push_back(v);
+          ASSERT_EQ(remote.size(), 3u);
+          const auto t0 = fetcher.begin(remote[0]);
+          (void)fetcher.begin(remote[1]);
+          (void)fetcher.begin(remote[2]);  // recycles t0's slot
+          (void)fetcher.finish(t0);        // must trip the generation check
+          ctx.barrier();
+        });
+      },
+      "recycled");
+}
+#endif
+
+// ------------------------------------------------- similarity analytics ---
+
+TEST(Overlap, CompleteGraphClosedForm) {
+  // K_6: |adj(u) ∩ adj(v)| = 4, min degree = 5 => O = 0.8 on every edge.
+  const auto g = CSRGraph::from_edges(testsupport::complete_edges(6));
+  const auto r = run_distributed_overlap(g, 3);
+  ASSERT_EQ(r.score.size(), g.num_edges());
+  for (double s : r.score) EXPECT_DOUBLE_EQ(s, 0.8);
+}
+
+TEST(AdamicAdar, CompleteGraphClosedForm) {
+  // K_6: 4 common neighbors, each of degree 5 => AA = 4 / ln(5).
+  const auto g = CSRGraph::from_edges(testsupport::complete_edges(6));
+  const auto r = run_distributed_adamic_adar(g, 3);
+  for (double s : r.score) EXPECT_DOUBLE_EQ(s, 4.0 / std::log(5.0));
+}
+
+class SimilarityRanks : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SimilarityRanks, OverlapMatchesReference) {
+  const CSRGraph g = rmat_graph(8, 8, 44);
+  const auto ref = reference_overlap(g);
+  const auto r = run_distributed_overlap(g, GetParam());
+  ASSERT_EQ(r.score.size(), ref.size());
+  for (std::size_t k = 0; k < ref.size(); ++k)
+    ASSERT_DOUBLE_EQ(r.score[k], ref[k]) << "slot " << k;
+}
+
+TEST_P(SimilarityRanks, AdamicAdarMatchesReference) {
+  const CSRGraph g = rmat_graph(8, 8, 45);
+  const auto ref = reference_adamic_adar(g);
+  const auto r = run_distributed_adamic_adar(g, GetParam());
+  ASSERT_EQ(r.score.size(), ref.size());
+  for (std::size_t k = 0; k < ref.size(); ++k)
+    ASSERT_DOUBLE_EQ(r.score[k], ref[k]) << "slot " << k;
+}
+
+TEST_P(SimilarityRanks, AdamicAdarMatchesReferenceCachedAndDeep) {
+  const CSRGraph g = rmat_graph(8, 8, 46);
+  const auto ref = reference_adamic_adar(g);
+  EngineConfig cfg = depth_config(4);
+  cfg.use_cache = true;
+  cfg.victim_policy = clampi::VictimPolicy::UserScore;
+  cfg.cache_sizing =
+      CacheSizing::paper_default(g.num_vertices(), g.csr_bytes() / 4);
+  const auto r = run_distributed_adamic_adar(g, GetParam(), cfg);
+  for (std::size_t k = 0; k < ref.size(); ++k)
+    ASSERT_DOUBLE_EQ(r.score[k], ref[k]) << "slot " << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, SimilarityRanks,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(AdamicAdar, DirectedSinkContributesZero) {
+  // Sinks have out-degree 0; common neighbors of out-degree < 2 weigh 0.
+  const CSRGraph g = directed_with_sinks();
+  const auto ref = reference_adamic_adar(g);
+  const auto r = run_distributed_adamic_adar(g, 4);
+  for (std::size_t k = 0; k < ref.size(); ++k)
+    ASSERT_DOUBLE_EQ(r.score[k], ref[k]) << "slot " << k;
+}
+
+TEST(Similarity, OverlapDominatesJaccard) {
+  // min(|A|,|B|) <= |A ∪ B| always, so O(u,v) >= J(u,v) edge-wise.
+  const CSRGraph g = rmat_graph(9, 8, 47);
+  const auto jac = run_distributed_jaccard(g, 2).similarity;
+  const auto ovl = run_distributed_overlap(g, 2).score;
+  ASSERT_EQ(jac.size(), ovl.size());
+  for (std::size_t k = 0; k < jac.size(); ++k)
+    EXPECT_GE(ovl[k] + 1e-15, jac[k]) << "slot " << k;
+}
+
+// ----------------------------------------- unified stats (satellite fix) ---
+
+TEST(AnalyticStats, JaccardAggregatesSameCountersAsLcc) {
+  // The unified driver must fill the full EdgeAnalyticStats block for every
+  // analytic: historically Jaccard dropped offsets-cache stats and ignored
+  // track_remote_reads.
+  const CSRGraph g = rmat_graph(9, 8, 48);
+  EngineConfig cfg;
+  cfg.use_cache = true;
+  cfg.cache_sizing = CacheSizing::paper_default(g.num_vertices(), 1 << 19);
+  cfg.track_remote_reads = true;
+
+  const auto lcc = run_distributed_lcc(g, 4, cfg);
+  const auto jac = run_distributed_jaccard(g, 4, cfg);
+
+  // Identical access pattern => identical comm/cache/remote-read counters.
+  EXPECT_EQ(jac.remote_edges, lcc.remote_edges);
+  EXPECT_EQ(jac.edges_processed, lcc.edges_processed);
+  EXPECT_EQ(jac.offsets_cache_total.hits, lcc.offsets_cache_total.hits);
+  EXPECT_GT(jac.offsets_cache_total.accesses(), 0u);
+  EXPECT_EQ(jac.adj_cache_total.hits, lcc.adj_cache_total.hits);
+  ASSERT_EQ(jac.remote_reads.size(), lcc.remote_reads.size());
+  std::uint64_t sum = 0;
+  for (std::size_t v = 0; v < jac.remote_reads.size(); ++v) {
+    EXPECT_EQ(jac.remote_reads[v], lcc.remote_reads[v]) << "vertex " << v;
+    sum += jac.remote_reads[v];
+  }
+  EXPECT_EQ(sum, jac.remote_edges);
+}
+
+TEST(AnalyticStats, SimilarityReportsRemoteEdgeFraction) {
+  const CSRGraph g = rmat_graph(8, 8, 49);
+  const auto r = run_distributed_overlap(g, 4);
+  EXPECT_GT(r.remote_edge_fraction(), 0.0);
+  EXPECT_LE(r.remote_edge_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace atlc::core

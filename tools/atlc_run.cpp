@@ -1,17 +1,22 @@
 // atlc_run — command-line driver for the full system: compute LCC, global
-// TC, or per-edge Jaccard similarity on an edge-list file (or a generated
-// R-MAT instance) with the complete engine flag surface, and emit results
-// as CSV for downstream analysis.
+// TC, or a per-edge similarity analytic (Jaccard, overlap coefficient,
+// Adamic–Adar) on an edge-list file (or a generated R-MAT instance) with
+// the complete engine flag surface, and emit results as CSV for downstream
+// analysis.
 //
 //   atlc_run --input graph.txt --algo lcc --ranks 16 --cache --out lcc.csv
-//   atlc_run --rmat-scale 14 --algo tc --ranks 32
-//   atlc_run --input graph.txt --algo jaccard --cache --scores degree
+//   atlc_run --rmat-scale 14 --algo tc --ranks 32 --pipeline-depth 4
+//   atlc_run --input graph.txt --algo adamic-adar --cache --scores degree
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "atlc/core/jaccard.hpp"
 #include "atlc/core/lcc.hpp"
+#include "atlc/core/similarity.hpp"
 #include "atlc/graph/clean.hpp"
 #include "atlc/graph/degree_stats.hpp"
 #include "atlc/graph/generators.hpp"
@@ -49,6 +54,8 @@ core::EngineConfig engine_config(const util::Cli& cli,
                : method == "binary" ? intersect::Method::Binary
                                     : intersect::Method::Hybrid;
   cfg.double_buffer = !cli.get_flag("no-overlap");
+  cfg.pipeline_depth = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, cli.get_int("pipeline-depth")));
   if (cli.get_flag("cache")) {
     cfg.use_cache = true;
     cfg.cache_sizing = core::CacheSizing::paper_default(
@@ -85,11 +92,14 @@ int main(int argc, char** argv) {
   cli.add_int("rmat-scale", "R-MAT scale when generating", 13);
   cli.add_int("rmat-ef", "R-MAT edge factor when generating", 16);
   cli.add_int("seed", "generator / relabeling seed", 1);
-  cli.add_string("algo", "lcc | tc | jaccard", "lcc");
+  cli.add_string("algo", "lcc | tc | jaccard | overlap | adamic-adar", "lcc");
   cli.add_int("ranks", "simulated compute nodes", 8);
   cli.add_string("partition", "block | cyclic", "block");
   cli.add_string("method", "hybrid | ssi | binary", "hybrid");
-  cli.add_flag("no-overlap", "disable double buffering", false);
+  cli.add_flag("no-overlap", "disable transfer/compute overlap (depth 1)",
+               false);
+  cli.add_int("pipeline-depth",
+              "prefetch pipeline depth k (2 = paper double buffering)", 2);
   cli.add_flag("cache", "enable CLaMPI-style RMA caching", false);
   cli.add_double("cache-frac", "cache budget as fraction of CSR bytes", 0.5);
   cli.add_string("scores", "clampi | degree (victim-selection scores)",
@@ -148,15 +158,29 @@ int main(int argc, char** argv) {
     const auto triangles = core::run_distributed_tc(g, ranks, cfg);
     std::fprintf(out.get(), "global_triangles\n%llu\n",
                  static_cast<unsigned long long>(triangles));
-  } else if (algo == "jaccard") {
-    const auto r = core::run_distributed_jaccard(g, ranks, cfg, {}, partition);
-    print_run_summary(r.run, r.adj_cache_total);
+  } else if (algo == "jaccard" || algo == "overlap" || algo == "adamic-adar") {
+    // The per-edge similarity analytics share the slot layout and the
+    // EdgeAnalyticStats block, so one emission path serves all three.
+    std::vector<double> scores;
+    if (algo == "jaccard") {
+      auto r = core::run_distributed_jaccard(g, ranks, cfg, {}, partition);
+      print_run_summary(r.run, r.adj_cache_total);
+      scores = std::move(r.similarity);
+    } else if (algo == "overlap") {
+      auto r = core::run_distributed_overlap(g, ranks, cfg, {}, partition);
+      print_run_summary(r.run, r.adj_cache_total);
+      scores = std::move(r.score);
+    } else {
+      auto r = core::run_distributed_adamic_adar(g, ranks, cfg, {}, partition);
+      print_run_summary(r.run, r.adj_cache_total);
+      scores = std::move(r.score);
+    }
     if (!cli.get_flag("stats-only")) {
-      std::fprintf(out.get(), "u,v,jaccard\n");
+      std::fprintf(out.get(), "u,v,%s\n", algo.c_str());
       std::size_t k = 0;
       for (graph::VertexId u = 0; u < g.num_vertices(); ++u)
         for (graph::VertexId v : g.neighbors(u))
-          std::fprintf(out.get(), "%u,%u,%.6f\n", u, v, r.similarity[k++]);
+          std::fprintf(out.get(), "%u,%u,%.6f\n", u, v, scores[k++]);
     }
   } else {
     std::fprintf(stderr, "atlc_run: unknown --algo '%s'\n", algo.c_str());
