@@ -38,22 +38,37 @@ class Cache {
  public:
   explicit Cache(CacheConfig config);
 
+  /// Set the data epoch subsequent lookups/inserts run under (the window
+  /// version the payloads belong to — see rma::WindowBase::epoch()). An
+  /// entry inserted at epoch e is served only while the epoch is still e:
+  /// probing it at a later epoch recycles it and reports a miss
+  /// (stats().stale_evictions). Static workloads never call this and keep
+  /// the always-cache behaviour (everything stays at epoch 0).
+  void set_epoch(std::uint64_t epoch) { current_epoch_ = epoch; }
+  [[nodiscard]] std::uint64_t epoch() const { return current_epoch_; }
+
   /// Look up `key`; on hit copy the payload to `dst` (must hold key.bytes)
-  /// and refresh recency. Returns true on hit.
+  /// and refresh recency. Returns true on hit. A resident entry from an
+  /// older epoch is evicted and reported as a miss.
   bool lookup(const Key& key, void* dst);
 
   /// Store a payload after a miss fetch. `user_score` is consulted only
   /// under VictimPolicy::UserScore (paper Section III-B2: degree centrality
   /// for C_adj). May evict (possibly several) entries; returns false iff
-  /// the payload exceeds the whole buffer. Inserting a key that is already
-  /// resident is a caller error (see contains()).
+  /// the payload exceeds the whole buffer. Inserting a key that is resident
+  /// at the current epoch is a caller error (see contains()); a stale
+  /// resident from an older epoch is recycled and replaced.
   bool insert(const Key& key, const void* data, double user_score = 0.0);
 
-  /// True iff `key` is resident. Unlike lookup(), copies no payload and
-  /// does not refresh recency — the probe callers use to decide whether a
-  /// completed miss fetch still needs its insert (an overlapping fetch of
-  /// the same key may have inserted first; see CachedWindow::finish).
-  [[nodiscard]] bool contains(const Key& key) const { return find(key) >= 0; }
+  /// True iff `key` is resident at the current epoch. Unlike lookup(),
+  /// copies no payload and does not refresh recency — the probe callers use
+  /// to decide whether a completed miss fetch still needs its insert (an
+  /// overlapping fetch of the same key may have inserted first; see
+  /// CachedWindow::finish). Stale residents read as absent.
+  [[nodiscard]] bool contains(const Key& key) const {
+    const std::int32_t idx = find(key);
+    return idx >= 0 && pool_[idx].epoch == current_epoch_;
+  }
 
   /// Drop every entry (stats retained). UserDefined-mode applications call
   /// this; it also implements the transparent-mode epoch flush.
@@ -86,6 +101,7 @@ class Cache {
     Key key;
     std::uint64_t buf_offset = 0;
     std::uint64_t last_tick = 0;
+    std::uint64_t epoch = 0;  ///< window epoch the payload was fetched at
     double user_score = 0.0;
     std::uint32_t slot = 0;
     std::int32_t lru_prev = -1;
@@ -97,6 +113,7 @@ class Cache {
     EvictedSpace,
     EvictedConflict,
     Flushed,
+    Stale,  ///< epoch invalidation (refresh_window advanced the window)
     NeverStored,
   };
 
@@ -134,6 +151,7 @@ class Cache {
   std::int32_t lru_head_ = -1;
   std::int32_t lru_tail_ = -1;
   std::uint64_t tick_ = 0;
+  std::uint64_t current_epoch_ = 0;
   std::multimap<double, std::int32_t> by_score_;  // UserScore policy index
   std::map<std::uint64_t, std::int32_t> live_by_offset_;  // buffer layout
   std::unordered_map<std::uint64_t, GoneReason> gone_;  // miss classification

@@ -30,6 +30,7 @@ class CachedWindow {
     Key key{};
     T* dst = nullptr;
     double score = 0.0;
+    std::uint64_t epoch = 0;  ///< window epoch the transfer was issued at
   };
 
   CachedWindow(rma::RankCtx& ctx, rma::Window<T> window, CacheConfig config)
@@ -48,6 +49,11 @@ class CachedWindow {
       return Pending{};
     }
     const Key key{target, offset * sizeof(T), count * sizeof(T)};
+    // Pin the cache to the window's current data epoch: entries fetched
+    // before the last refresh_window are recycled on probe instead of
+    // served (stale-hit-as-miss; the always-cache assumption holds only
+    // within one epoch on dynamic graphs — DESIGN.md §7).
+    cache_.set_epoch(window_.epoch());
     if (cache_.lookup(key, dst)) {
       ctx_->charge_comm(ctx_->net().time_cache_hit(key.bytes));
       return Pending{};
@@ -59,6 +65,7 @@ class CachedWindow {
     p.key = key;
     p.dst = dst;
     p.score = score;
+    p.epoch = window_.epoch();
     return p;
   }
 
@@ -68,12 +75,23 @@ class CachedWindow {
     if (p.completed) return;
     ctx_->flush(p.handle);
     if (p.insert_on_finish) {
+      if (p.epoch != window_.epoch()) {
+        // The window was refreshed while this transfer was pending: the
+        // payload (eagerly copied from the old exposure) predates the
+        // current epoch. Inserting it — stamped current — would let a
+        // later lookup serve pre-refresh bytes as a fresh hit, breaking
+        // the stale-never-served guarantee. Discard instead; the caller's
+        // own dst holding old bytes is its overlap-across-fence problem
+        // (erroneous under MPI_Win_fence semantics too).
+        return;
+      }
       // Pipelines deeper than the paper's double buffering can have two
       // misses of the same key in flight at once (depth 2 cannot: a new
       // get only starts after the previous finish). The first completion
       // inserts; later ones find the key resident and skip the duplicate
       // insert — their transfer happened and its miss bookkeeping is still
       // charged.
+      cache_.set_epoch(window_.epoch());
       if (!cache_.contains(p.key)) cache_.insert(p.key, p.dst, p.score);
       ctx_->charge_comm(ctx_->net().cache_miss_overhead_s);
     }

@@ -63,9 +63,13 @@ struct CacheStats {
   std::uint64_t compulsory_misses = 0;  ///< key never seen before
   std::uint64_t capacity_misses = 0;    ///< key evicted earlier for space
   std::uint64_t conflict_misses = 0;    ///< key evicted earlier by hash conflict
-  std::uint64_t flush_misses = 0;       ///< key dropped by a flush
+  std::uint64_t flush_misses = 0;  ///< key dropped by a flush or epoch bump
   std::uint64_t evictions_space = 0;
   std::uint64_t evictions_conflict = 0;
+  /// Entries recycled because the window epoch advanced past the epoch they
+  /// were fetched at (dynamic graphs: a refresh_window invalidated them).
+  /// A stale probe is served as a miss, never as a hit.
+  std::uint64_t stale_evictions = 0;
   std::uint64_t insert_failures = 0;  ///< entry larger than the whole buffer
   /// UserScore policy: inserts skipped because the incoming entry scored
   /// lower than every eviction candidate (paper Section III-B2: "avoid
@@ -85,6 +89,7 @@ struct CacheStats {
     flush_misses += o.flush_misses;
     evictions_space += o.evictions_space;
     evictions_conflict += o.evictions_conflict;
+    stale_evictions += o.stale_evictions;
     insert_failures += o.insert_failures;
     admission_rejects += o.admission_rejects;
     flushes += o.flushes;

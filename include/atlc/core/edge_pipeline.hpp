@@ -16,6 +16,7 @@
 
 #include <concepts>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "atlc/core/dist_graph.hpp"
@@ -97,7 +98,44 @@ class EdgePipeline {
   /// Drive `kernel` over every local edge with depth-k prefetching.
   template <EdgeKernel K>
   void run(K&& kernel) {
-    const auto m = static_cast<EdgeIndex>(dg_->adjacencies.size());
+    run_stream(
+        static_cast<EdgeIndex>(dg_->adjacencies.size()),
+        [this](EdgeIndex i) { return dg_->adjacencies[i]; },
+        [this, lv = VertexId{0}](EdgeIndex ei) mutable {
+          // Called once per ei in ascending order, so the owning-vertex
+          // walk stays the original O(m + n) incremental scan.
+          while (dg_->offsets[lv + 1] <= ei) ++lv;
+          return lv;
+        },
+        kernel);
+  }
+
+  /// Drive `kernel` over an explicit edge list instead of the full local
+  /// stream, with the same depth-k prefetch ring. Each entry is (lv, j):
+  /// the LOCAL index of the owning vertex and the GLOBAL neighbor whose
+  /// adjacency is fetched. The stream engine uses this to enumerate
+  /// N(u) ∩ N(v) for a batch's update edges only, instead of recounting
+  /// every local edge.
+  template <EdgeKernel K>
+  void run_over(std::span<const std::pair<VertexId, VertexId>> edges,
+                K&& kernel) {
+    run_stream(
+        static_cast<EdgeIndex>(edges.size()),
+        [edges](EdgeIndex i) { return edges[i].second; },
+        [edges](EdgeIndex i) { return edges[i].first; }, kernel);
+  }
+
+  /// Snapshot this rank's pipeline counters (callable any time; counters
+  /// are monotonic).
+  [[nodiscard]] PipelineRankStats harvest();
+
+ private:
+  /// The one prefetch loop both entry points share. `target(i)` is the
+  /// global vertex whose adjacency edge i fetches (pure; called for
+  /// prefetch lookahead too); `lv_of(i)` is the local owner index (called
+  /// exactly once per i, in ascending order, at kernel time).
+  template <typename TargetFn, typename LvFn, EdgeKernel K>
+  void run_stream(EdgeIndex m, TargetFn&& target, LvFn&& lv_of, K&& kernel) {
     const auto lookahead = static_cast<EdgeIndex>(depth_) - 1;
 
     // Tokens are issued and retired strictly FIFO, so the in-flight window
@@ -107,27 +145,21 @@ class EdgePipeline {
     std::vector<AdjacencyFetcher::Token> ring(
         std::max<EdgeIndex>(lookahead, 1));
     for (EdgeIndex p = 0; p < std::min(lookahead, m); ++p)
-      ring[p % lookahead] = fetcher_.begin(dg_->adjacencies[p]);
+      ring[p % lookahead] = fetcher_.begin(target(p));
 
-    VertexId lv = 0;
     for (EdgeIndex ei = 0; ei < m; ++ei) {
-      while (dg_->offsets[lv + 1] <= ei) ++lv;
-      const VertexId j = dg_->adjacencies[ei];
+      const VertexId lv = lv_of(ei);
+      const VertexId j = target(ei);
       const AdjacencyFetcher::Token t =
           lookahead > 0 ? ring[ei % lookahead] : fetcher_.begin(j);
       const std::span<const VertexId> adj_j = fetcher_.finish(t);
       if (lookahead > 0 && ei + lookahead < m)
-        ring[ei % lookahead] = fetcher_.begin(dg_->adjacencies[ei + lookahead]);
+        ring[ei % lookahead] = fetcher_.begin(target(ei + lookahead));
       kernel(lv, j, dg_->local_neighbors(lv), adj_j);
       ++edges_run_;
     }
   }
 
-  /// Snapshot this rank's pipeline counters (callable any time; counters
-  /// are monotonic).
-  [[nodiscard]] PipelineRankStats harvest();
-
- private:
   const DistGraph* dg_;
   const EngineConfig* config_;
   std::size_t depth_;

@@ -58,6 +58,7 @@ struct RunResult : EdgeAnalyticStats {
 /// For undirected graphs returns the number of distinct triangles.
 [[nodiscard]] std::uint64_t run_distributed_tc(
     const CSRGraph& g, std::uint32_t ranks, EngineConfig config = {},
-    const rma::NetworkModel& net = {});
+    const rma::NetworkModel& net = {},
+    graph::PartitionKind partition = graph::PartitionKind::Block1D);
 
 }  // namespace atlc::core

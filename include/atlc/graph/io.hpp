@@ -19,8 +19,21 @@ void save_text_edges(const EdgeList& edges, const std::string& path);
 
 /// Binary format: magic, version, directedness, n, m, then m (u,v) pairs of
 /// uint32. Roughly 6x faster to load than text; used to snapshot generated
-/// proxies between bench runs.
+/// proxies between bench runs (see `atlc_run --convert`).
+///
+/// The loader validates the container before trusting it: magic and
+/// version must match, the declared edge count must agree exactly with the
+/// file size (a truncated copy used to slice the edge array silently), and
+/// every endpoint must be < n. Violations throw std::runtime_error with an
+/// "atlc:"-prefixed message naming the failure and the path.
 [[nodiscard]] EdgeList load_binary_edges(const std::string& path);
 void save_binary_edges(const EdgeList& edges, const std::string& path);
+
+/// Format-sniffing loader: reads the first bytes and dispatches to the
+/// binary loader when the ATLC magic matches, to the text loader otherwise.
+/// `directedness` applies to text input only (the binary header records
+/// its own).
+[[nodiscard]] EdgeList load_edges(const std::string& path,
+                                  Directedness directedness);
 
 }  // namespace atlc::graph

@@ -27,8 +27,10 @@ struct GetHandle {
 /// Type-erased window core. A window is the simulated equivalent of an MPI
 /// window created over passive-target epochs: each rank exposes a read-only
 /// memory region; any rank may `get` from any part without involving the
-/// target (the graph is never mutated during computation, matching the
-/// paper's always-cache assumption).
+/// target. Between collective `refresh_window` calls the exposed data is
+/// immutable (the paper's always-cache assumption); each refresh bumps the
+/// window's epoch counter, making "the data behind this window changed" an
+/// observable event consumers (clampi's epoch invalidation) can key on.
 class WindowBase {
  public:
   WindowBase() = default;
@@ -45,6 +47,12 @@ class WindowBase {
 
   /// Stable identifier of this window within the runtime (creation order).
   [[nodiscard]] std::uint64_t id() const;
+
+  /// Version counter: 0 at creation, +1 per completed refresh_window
+  /// collective. Stable between collectives (only refresh_window mutates
+  /// it, under its barriers), so readers need no synchronisation beyond
+  /// participating in the collectives themselves.
+  [[nodiscard]] std::uint64_t epoch() const;
 
  protected:
   friend class RankCtx;
@@ -101,6 +109,25 @@ class RankCtx {
                                          local.size() * sizeof(T), sizeof(T)));
   }
 
+  /// Collective republication of a window's local part after the backing
+  /// buffer was mutated (or reallocated: pointer and size may both change).
+  /// Semantics follow an MPI_Win_fence pair around the mutation:
+  ///   - entry barrier: orders the slowest reader's gets before any
+  ///     republication;
+  ///   - every rank re-registers its part (unchanged ranks pass the same
+  ///     span) and the window's epoch() advances by exactly one;
+  ///   - exit barrier: the new exposure and epoch are visible everywhere
+  ///     before any rank resumes gets.
+  /// The entry fence covers replacing the registration with a DIFFERENT
+  /// buffer (keep the old one alive until the call returns). Mutating or
+  /// freeing the OLD bytes before the call needs the caller's own barrier
+  /// first — a peer may still be reading them.
+  /// Must be called by all ranks, like create_window. See DESIGN.md §7.
+  template <typename T>
+  void refresh_window(Window<T>& w, std::span<const T> local) {
+    refresh_window_bytes(w, local.data(), local.size() * sizeof(T));
+  }
+
   /// Complete one pending get: advance the clock to its completion.
   void flush(GetHandle h);
   /// Complete all pending gets issued by this rank (MPI_Win_flush_all).
@@ -129,6 +156,8 @@ class RankCtx {
 
   WindowBase create_window_bytes(const void* data, std::uint64_t bytes,
                                  std::size_t elem_size);
+  void refresh_window_bytes(WindowBase& w, const void* data,
+                            std::uint64_t bytes);
 
   detail::SharedState* shared_;
   std::uint32_t rank_;

@@ -1,0 +1,61 @@
+#pragma once
+
+// Distributed batch application: adjudicate a batch's net ops against the
+// live partition, replicate the effective sets over the TriC all_to_all
+// substrate, and rebuild only the touched CSR rows before republishing the
+// partition's windows (collective refresh_window → epoch bump → CLaMPI
+// epoch invalidation). DESIGN.md §7 documents the protocol.
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "atlc/core/dist_graph.hpp"
+#include "atlc/core/engine_config.hpp"
+#include "atlc/stream/update.hpp"
+
+namespace atlc::stream {
+
+/// The presence-adjudicated ops of one batch, identical on every rank
+/// after the exchange. `ops` is sorted by canonical key and contains each
+/// edge at most once; `inserted`/`deleted` index the same ops for the O(1)
+/// membership probes the intra-batch triangle attribution performs.
+struct EffectiveBatch {
+  std::vector<CanonicalUpdate> ops;
+  std::unordered_set<std::uint64_t> inserted;
+  std::unordered_set<std::uint64_t> deleted;
+
+  [[nodiscard]] bool empty() const { return ops.empty(); }
+  [[nodiscard]] std::uint64_t insertions() const { return inserted.size(); }
+  [[nodiscard]] std::uint64_t deletions() const { return deleted.size(); }
+};
+
+/// Per-rank batch applier. Owns no graph state; mutates the rank's
+/// DistGraph rows in place and republishes its windows.
+class BatchApplier {
+ public:
+  BatchApplier(rma::RankCtx& ctx, core::DistGraph& dg,
+               const core::EngineConfig& config)
+      : ctx_(&ctx), dg_(&dg), config_(&config) {}
+
+  /// Collective step 1: normalize the batch, adjudicate each op whose
+  /// canonical first endpoint this rank owns (insert is effective iff the
+  /// edge is absent, delete iff present — one sorted-row binary search per
+  /// op, charged to the virtual clock), and exchange verdicts so every
+  /// rank returns the identical effective sets.
+  [[nodiscard]] EffectiveBatch adjudicate(const Batch& batch);
+
+  /// Collective step 2: rebuild the local CSR rows touched by `eff` (both
+  /// endpoints of every effective edge) and republish w_offsets / w_adj via
+  /// refresh_window, advancing both window epochs by one. Callers must have
+  /// synchronised (barrier) after the last read of the pre-batch state.
+  /// Returns the number of local rows rebuilt.
+  std::uint64_t apply_to_rows(const EffectiveBatch& eff);
+
+ private:
+  rma::RankCtx* ctx_;
+  core::DistGraph* dg_;
+  const core::EngineConfig* config_;
+};
+
+}  // namespace atlc::stream

@@ -69,12 +69,20 @@ bool Cache::lookup(const Key& key, void* dst) {
   maybe_adapt();
   const std::int32_t idx = find(key);
   if (idx >= 0) {
-    const Entry& e = pool_[idx];
-    std::memcpy(dst, buffer_.data() + e.buf_offset, e.key.bytes);
-    touch(idx);
-    ++stats_.hits;
-    stats_.bytes_hit += e.key.bytes;
-    return true;
+    if (pool_[idx].epoch != current_epoch_) {
+      // The window advanced past the epoch this payload was fetched at: the
+      // bytes may no longer match the target's exposure. Serving them would
+      // violate coherence, so the entry is recycled and the probe reported
+      // as a miss (stale-hit-as-miss, DESIGN.md §7).
+      evict(idx, GoneReason::Stale);
+    } else {
+      const Entry& e = pool_[idx];
+      std::memcpy(dst, buffer_.data() + e.buf_offset, e.key.bytes);
+      touch(idx);
+      ++stats_.hits;
+      stats_.bytes_hit += e.key.bytes;
+      return true;
+    }
   }
   ++stats_.misses;
   stats_.bytes_missed += key.bytes;
@@ -92,6 +100,8 @@ void Cache::classify_miss(const Key& key) {
     case GoneReason::EvictedSpace: ++stats_.capacity_misses; break;
     case GoneReason::EvictedConflict: ++stats_.conflict_misses; break;
     case GoneReason::Flushed: ++stats_.flush_misses; break;
+    // Epoch invalidation is a targeted flush of one entry.
+    case GoneReason::Stale: ++stats_.flush_misses; break;
     case GoneReason::NeverStored: ++stats_.capacity_misses; break;
   }
 }
@@ -122,6 +132,7 @@ void Cache::evict(std::int32_t idx, GoneReason reason) {
   --live_entries_;
   if (reason == GoneReason::EvictedSpace) ++stats_.evictions_space;
   if (reason == GoneReason::EvictedConflict) ++stats_.evictions_conflict;
+  if (reason == GoneReason::Stale) ++stats_.stale_evictions;
 }
 
 std::int32_t Cache::lru_positional_pick(
@@ -266,7 +277,14 @@ bool Cache::insert(const Key& key, const void* data, double user_score) {
     note_gone(key, GoneReason::NeverStored);
     return false;
   }
-  ATLC_DCHECK(find(key) < 0, "insert of an already-cached key");
+  if (const std::int32_t prev = find(key); prev >= 0) {
+    // A stale resident from an older epoch still occupies the key (a deep
+    // pipeline can complete a pre-refresh miss after the epoch advanced).
+    // Recycle it; the incoming payload is the current-epoch replacement.
+    ATLC_DCHECK(pool_[prev].epoch != current_epoch_,
+                "insert of an already-cached key");
+    evict(prev, GoneReason::Stale);
+  }
 
   // 1) Claim a hash slot (may require a conflict eviction).
   const std::uint64_t base = key_hash(key);
@@ -324,6 +342,7 @@ bool Cache::insert(const Key& key, const void* data, double user_score) {
   e.key = key;
   e.buf_offset = *buf_off;
   e.last_tick = ++tick_;
+  e.epoch = current_epoch_;
   e.user_score = user_score;
   e.slot = static_cast<std::uint32_t>(slot);
   e.live = true;

@@ -120,13 +120,13 @@ RunResult run_distributed_lcc(const CSRGraph& g, std::uint32_t ranks,
 
 std::uint64_t run_distributed_tc(const CSRGraph& g, std::uint32_t ranks,
                                  EngineConfig config,
-                                 const rma::NetworkModel& net) {
+                                 const rma::NetworkModel& net,
+                                 graph::PartitionKind partition) {
   // Upper-triangle de-duplication only applies to undirected graphs (the
   // paper's Section II-C optimisation); directed transitive triads need the
   // full scan.
   config.upper_triangle_only = g.directedness() == Directedness::Undirected;
-  return run_engine(g, ranks, config, net, graph::PartitionKind::Block1D)
-      .global_triangles;
+  return run_engine(g, ranks, config, net, partition).global_triangles;
 }
 
 }  // namespace atlc::core

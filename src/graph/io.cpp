@@ -5,6 +5,7 @@
 #include <cstring>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 namespace atlc::graph {
@@ -78,19 +79,72 @@ void save_binary_edges(const EdgeList& edges, const std::string& path) {
 
 EdgeList load_binary_edges(const std::string& path) {
   File f = open_or_throw(path, "rb");
+
+  // Measure before parsing: every downstream check compares the header's
+  // claims against what is actually on disk.
+  if (std::fseek(f.get(), 0, SEEK_END) != 0)
+    throw std::runtime_error("atlc: cannot seek: " + path);
+  const long file_size = std::ftell(f.get());
+  if (file_size < 0) throw std::runtime_error("atlc: cannot stat: " + path);
+  std::rewind(f.get());
+
+  constexpr std::uint64_t kHeaderBytes = 4 * sizeof(std::uint32_t) +
+                                         sizeof(std::uint64_t);
   std::uint32_t header[4];
   std::uint64_t m = 0;
-  if (std::fread(header, sizeof(header), 1, f.get()) != 1 ||
+  if (static_cast<std::uint64_t>(file_size) < kHeaderBytes ||
+      std::fread(header, sizeof(header), 1, f.get()) != 1 ||
       std::fread(&m, sizeof(m), 1, f.get()) != 1)
-    throw std::runtime_error("short read: " + path);
-  if (header[0] != kMagic || header[1] != kVersion)
-    throw std::runtime_error("bad magic/version: " + path);
+    throw std::runtime_error("atlc: truncated header (file smaller than the "
+                             "binary edge-list header): " + path);
+  if (header[0] != kMagic)
+    throw std::runtime_error("atlc: bad magic (not an ATLC binary edge "
+                             "list): " + path);
+  if (header[1] != kVersion)
+    throw std::runtime_error(
+        "atlc: unsupported binary edge-list version " +
+        std::to_string(header[1]) + " (expected " + std::to_string(kVersion) +
+        "): " + path);
+  if (header[2] > 1)
+    throw std::runtime_error("atlc: corrupt directedness flag: " + path);
+
+  // The declared count must match the payload EXACTLY: a short file means a
+  // truncated copy (loading it would silently slice the edge array); extra
+  // trailing bytes mean the file is not what the header claims.
+  const std::uint64_t expected = kHeaderBytes + m * sizeof(Edge);
+  if (static_cast<std::uint64_t>(file_size) != expected)
+    throw std::runtime_error(
+        "atlc: declared edge count " + std::to_string(m) + " wants " +
+        std::to_string(expected) + " bytes but file has " +
+        std::to_string(file_size) + " (truncated or corrupt): " + path);
+
+  const VertexId n = header[3];
   std::vector<Edge> edges(m);
   if (m > 0 && std::fread(edges.data(), sizeof(Edge), m, f.get()) != m)
-    throw std::runtime_error("short read: " + path);
-  return EdgeList(header[3], std::move(edges),
+    throw std::runtime_error("atlc: short read: " + path);
+  for (const Edge& e : edges)
+    if (e.u >= n || e.v >= n)
+      throw std::runtime_error(
+          "atlc: edge endpoint out of range (vertex >= " + std::to_string(n) +
+          "; corrupt payload): " + path);
+  return EdgeList(n, std::move(edges),
                   header[2] ? Directedness::Directed
                             : Directedness::Undirected);
+}
+
+EdgeList load_edges(const std::string& path, Directedness directedness) {
+  {
+    File f = open_or_throw(path, "rb");
+    std::uint32_t magic = 0;
+    const bool is_binary =
+        std::fread(&magic, sizeof(magic), 1, f.get()) == 1 && magic == kMagic;
+    if (is_binary) {
+      // Reopen through the validating loader (it re-reads the header).
+      f.reset();
+      return load_binary_edges(path);
+    }
+  }
+  return load_text_edges(path, directedness);
 }
 
 }  // namespace atlc::graph

@@ -58,6 +58,11 @@ struct WindowState {
   std::vector<std::pair<const std::byte*, std::uint64_t>> parts;
   std::size_t elem_size = 0;
   std::uint64_t id = 0;
+  /// Bumped once per completed refresh_window collective. Only mutated
+  /// between the collective's barriers, so steady-state readers see a
+  /// stable value without locking.
+  std::uint64_t epoch = 0;
+  std::uint32_t refresh_parties = 0;  ///< ranks arrived at current refresh
 };
 
 struct SharedState {
@@ -129,6 +134,11 @@ std::uint64_t WindowBase::id() const {
   return state_->id;
 }
 
+std::uint64_t WindowBase::epoch() const {
+  ATLC_DCHECK(state_ != nullptr, "epoch on invalid window");
+  return state_->epoch;
+}
+
 // ---------------------------------------------------------------------------
 // RankCtx
 
@@ -176,6 +186,27 @@ WindowBase RankCtx::create_window_bytes(const void* data, std::uint64_t bytes,
   w.state_ = state;
   w.ctx_ = this;
   return w;
+}
+
+void RankCtx::refresh_window_bytes(WindowBase& w, const void* data,
+                                   std::uint64_t bytes) {
+  ATLC_CHECK(w.valid(), "refresh of an invalid window");
+  auto& sh = *shared_;
+  // Entry fence: the slowest reader finishes its gets on the old exposure
+  // before any rank swaps its part out from under it.
+  barrier();
+  {
+    std::lock_guard lk(sh.window_mu);
+    auto* st = w.state_;
+    st->parts[rank_] = {static_cast<const std::byte*>(data), bytes};
+    if (++st->refresh_parties == sh.opts.ranks) {
+      st->refresh_parties = 0;
+      ++st->epoch;  // one bump per collective, by the last arriver
+    }
+  }
+  // Exit fence: every part republished and the epoch advanced before any
+  // rank resumes issuing gets against the window.
+  barrier();
 }
 
 void RankCtx::barrier() {

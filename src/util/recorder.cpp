@@ -55,6 +55,7 @@ Json to_json(const clampi::CacheStats& s) {
   j["flush_misses"] = s.flush_misses;
   j["evictions_space"] = s.evictions_space;
   j["evictions_conflict"] = s.evictions_conflict;
+  j["stale_evictions"] = s.stale_evictions;
   j["insert_failures"] = s.insert_failures;
   j["admission_rejects"] = s.admission_rejects;
   j["flushes"] = s.flushes;

@@ -514,6 +514,134 @@ TEST(CachedWindow, HitChargesLessThanMiss) {
   });
 }
 
+// ----------------------------------------------------- epoch invalidation ---
+
+TEST(CacheEpochs, StaleEntryServedAsMissAndRecycled) {
+  Cache cache(small_config());
+  const auto v1 = payload(32, 0x11);
+  const Key k = key_of(1, 0, 32);
+  EXPECT_TRUE(cache.insert(k, v1.data()));
+
+  cache.set_epoch(1);  // the window the payload came from was refreshed
+  std::vector<std::byte> out(32, std::byte{0});
+  EXPECT_FALSE(cache.lookup(k, out.data()));  // never served stale
+  EXPECT_EQ(out, payload(32, 0x00));          // dst untouched on miss
+  EXPECT_EQ(cache.stats().stale_evictions, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.num_entries(), 0u);  // recycled, not resident
+
+  // Re-insert at the new epoch: served again.
+  const auto v2 = payload(32, 0x22);
+  EXPECT_TRUE(cache.insert(k, v2.data()));
+  EXPECT_TRUE(cache.lookup(k, out.data()));
+  EXPECT_EQ(out, v2);
+}
+
+TEST(CacheEpochs, ContainsTreatsStaleAsAbsentAndInsertReplaces) {
+  Cache cache(small_config());
+  const auto v1 = payload(16, 0x01);
+  const Key k = key_of(2, 8, 16);
+  EXPECT_TRUE(cache.insert(k, v1.data()));
+  EXPECT_TRUE(cache.contains(k));
+
+  cache.set_epoch(3);
+  EXPECT_FALSE(cache.contains(k));  // stale reads as absent...
+  const auto v2 = payload(16, 0x02);
+  EXPECT_TRUE(cache.insert(k, v2.data()));  // ...and insert replaces it
+  EXPECT_EQ(cache.stats().stale_evictions, 1u);
+  std::vector<std::byte> out(16);
+  EXPECT_TRUE(cache.lookup(k, out.data()));
+  EXPECT_EQ(out, v2);
+}
+
+TEST(CacheEpochs, SameEpochKeepsAlwaysCacheBehaviour) {
+  Cache cache(small_config());
+  const auto data = payload(16, 0x0A);
+  const Key k = key_of(0, 0, 16);
+  EXPECT_TRUE(cache.insert(k, data.data()));
+  cache.set_epoch(0);  // unchanged epoch: nothing invalidated
+  std::vector<std::byte> out(16);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(cache.lookup(k, out.data()));
+  EXPECT_EQ(cache.stats().stale_evictions, 0u);
+}
+
+TEST(CachedWindow, RefreshWindowInvalidatesCachedEntries) {
+  // The full stack: a cached get, a collective refresh_window republishing
+  // mutated data, then the same get again — the new bytes must be served
+  // and the stale entry recycled, with the invalidation observable in the
+  // stats.
+  rma::Runtime::Options o;
+  o.ranks = 2;
+  rma::Runtime::run(o, [&](rma::RankCtx& ctx) {
+    std::vector<std::uint32_t> local(128, ctx.rank() + 1);
+    auto raw = ctx.create_window<std::uint32_t>(local);
+    CacheConfig cfg;
+    cfg.buffer_bytes = 1 << 14;
+    cfg.hash_slots = 64;
+    CachedWindow<std::uint32_t> win(ctx, raw, cfg);
+
+    const std::uint32_t peer = 1 - ctx.rank();
+    std::uint32_t buf[4] = {};
+    win.get(peer, 0, 4, buf);  // miss -> cached
+    EXPECT_EQ(buf[0], peer + 1);
+    win.get(peer, 0, 4, buf);  // hit from cache
+    EXPECT_EQ(win.cache().stats().hits, 1u);
+    EXPECT_EQ(raw.epoch(), 0u);
+
+    // Mutate the exposed buffer and republish (collective). In-place
+    // mutation needs its own quiesce barrier BEFORE touching the bytes —
+    // refresh_window's entry fence only orders the republication, not a
+    // mutation the caller performed ahead of the call.
+    ctx.barrier();
+    for (auto& x : local) x += 100;
+    ctx.refresh_window(raw, std::span<const std::uint32_t>(local));
+    EXPECT_EQ(raw.epoch(), 1u);
+
+    win.get(peer, 0, 4, buf);  // stale probe -> recycled -> fresh fetch
+    EXPECT_EQ(buf[0], peer + 101) << "stale payload must never be served";
+    EXPECT_EQ(win.cache().stats().stale_evictions, 1u);
+    EXPECT_EQ(win.cache().stats().hits, 1u);  // no new hit from the probe
+
+    win.get(peer, 0, 4, buf);  // re-cached at the new epoch: hits again
+    EXPECT_EQ(buf[0], peer + 101);
+    EXPECT_EQ(win.cache().stats().hits, 2u);
+    ctx.barrier();
+  });
+}
+
+TEST(CachedWindow, PendingMissAcrossRefreshIsNotCached) {
+  // A miss transfer issued before a refresh_window and finished after it
+  // carries pre-refresh bytes (the simulated get copies eagerly). finish()
+  // must DISCARD that payload instead of inserting it stamped with the new
+  // epoch — otherwise a later lookup would serve stale bytes as a fresh
+  // hit.
+  rma::Runtime::Options o;
+  o.ranks = 2;
+  rma::Runtime::run(o, [&](rma::RankCtx& ctx) {
+    std::vector<std::uint32_t> local(64, ctx.rank() + 1);
+    auto raw = ctx.create_window<std::uint32_t>(local);
+    CacheConfig cfg;
+    cfg.buffer_bytes = 1 << 14;
+    cfg.hash_slots = 64;
+    CachedWindow<std::uint32_t> win(ctx, raw, cfg);
+
+    const std::uint32_t peer = 1 - ctx.rank();
+    std::uint32_t buf[4] = {};
+    auto pending = win.begin_get(peer, 0, 4, buf, 1.0);  // miss in flight
+    std::vector<std::uint32_t> next(64, ctx.rank() + 77);
+    ctx.refresh_window(raw, std::span<const std::uint32_t>(next));
+    win.finish(pending);
+    EXPECT_EQ(buf[0], peer + 1);  // caller sees the pre-refresh transfer
+    EXPECT_EQ(win.cache().num_entries(), 0u) << "stale payload cached";
+
+    win.get(peer, 0, 4, buf);  // must refetch from the live exposure
+    EXPECT_EQ(buf[0], peer + 77);
+    EXPECT_EQ(win.cache().stats().hits, 0u);
+    ctx.barrier();  // keep `next` exposed until all peers finished
+  });
+}
+
 TEST(CachedWindow, OverlappedMissInsertsOnFinish) {
   rma::Runtime::Options o;
   o.ranks = 2;

@@ -319,6 +319,124 @@ TEST(Io, MissingFileThrows) {
                std::runtime_error);
 }
 
+TEST(Io, TextToBinaryRoundTripPreservesTriangles) {
+  // The --convert workflow: text load -> binary snapshot -> binary load
+  // must agree with the text path on everything that matters downstream.
+  auto e = generate_rmat({.scale = 6, .edge_factor = 6, .seed = 9});
+  clean(e);
+  const std::string text_path = ::testing::TempDir() + "atlc_rt.txt";
+  const std::string bin_path = ::testing::TempDir() + "atlc_rt.bin";
+  save_text_edges(e, text_path);
+  const EdgeList from_text = load_edges(text_path, Directedness::Undirected);
+  save_binary_edges(from_text, bin_path);
+  const EdgeList from_bin = load_edges(bin_path, Directedness::Undirected);
+  EXPECT_EQ(from_bin.num_vertices(), from_text.num_vertices());
+  EXPECT_EQ(from_bin.edges(), from_text.edges());
+  EXPECT_EQ(reference_lcc(CSRGraph::from_edges(from_bin)).global_triangles,
+            reference_lcc(CSRGraph::from_edges(e)).global_triangles);
+  std::remove(text_path.c_str());
+  std::remove(bin_path.c_str());
+}
+
+/// Expect load_binary_edges(path) to throw with `needle` in the message.
+void expect_binary_load_error(const std::string& path,
+                              const std::string& needle) {
+  try {
+    (void)load_binary_edges(path);
+    ADD_FAILURE() << "no exception for " << path << " (wanted '" << needle
+                  << "')";
+  } catch (const std::runtime_error& err) {
+    EXPECT_NE(std::string(err.what()).find(needle), std::string::npos)
+        << "message was: " << err.what();
+  }
+}
+
+class IoCorruption : public ::testing::Test {
+ protected:
+  /// A small valid binary edge list to corrupt.
+  void SetUp() override {
+    auto e = generate_rmat({.scale = 5, .edge_factor = 4, .seed = 10});
+    clean(e);
+    path_ = ::testing::TempDir() + "atlc_corrupt.bin";
+    save_binary_edges(e, path_);
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    blob_.resize(static_cast<std::size_t>(std::ftell(f)));
+    std::rewind(f);
+    ASSERT_EQ(std::fread(blob_.data(), 1, blob_.size(), f), blob_.size());
+    std::fclose(f);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void write_blob(const std::vector<unsigned char>& bytes) {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    if (!bytes.empty())
+      ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  }
+
+  std::string path_;
+  std::vector<unsigned char> blob_;
+};
+
+TEST_F(IoCorruption, TruncatedHeaderThrows) {
+  write_blob({blob_.begin(), blob_.begin() + 10});
+  expect_binary_load_error(path_, "truncated header");
+}
+
+TEST_F(IoCorruption, TruncatedPayloadThrows) {
+  // Drop the last 6 bytes: the declared count no longer matches the size.
+  write_blob({blob_.begin(), blob_.end() - 6});
+  expect_binary_load_error(path_, "truncated or corrupt");
+}
+
+TEST_F(IoCorruption, TrailingGarbageThrows) {
+  auto bytes = blob_;
+  bytes.insert(bytes.end(), {0xde, 0xad, 0xbe, 0xef});
+  write_blob(bytes);
+  expect_binary_load_error(path_, "truncated or corrupt");
+}
+
+TEST_F(IoCorruption, BadMagicThrows) {
+  auto bytes = blob_;
+  bytes[0] ^= 0xff;
+  write_blob(bytes);
+  expect_binary_load_error(path_, "bad magic");
+}
+
+TEST_F(IoCorruption, UnsupportedVersionThrows) {
+  auto bytes = blob_;
+  bytes[4] = 0x7f;  // version word (little-endian low byte)
+  write_blob(bytes);
+  expect_binary_load_error(path_, "unsupported binary edge-list version");
+}
+
+TEST_F(IoCorruption, OutOfRangeEndpointThrows) {
+  auto bytes = blob_;
+  // First payload word (u of edge 0) -> a vertex far beyond n.
+  const std::size_t payload = 4 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
+  bytes[payload + 0] = 0xff;
+  bytes[payload + 1] = 0xff;
+  bytes[payload + 2] = 0xff;
+  bytes[payload + 3] = 0xff;
+  write_blob(bytes);
+  expect_binary_load_error(path_, "endpoint out of range");
+}
+
+TEST(Io, LoadEdgesSniffsFormat) {
+  // A text file whose first bytes are digits must go down the text path;
+  // a binary file must go down the validating binary path.
+  const std::string text_path = ::testing::TempDir() + "atlc_sniff.txt";
+  std::FILE* f = std::fopen(text_path.c_str(), "w");
+  std::fprintf(f, "0 1\n1 2\n2 0\n");
+  std::fclose(f);
+  const EdgeList t = load_edges(text_path, Directedness::Undirected);
+  EXPECT_EQ(reference_lcc(CSRGraph::from_edges(t)).global_triangles, 1u);
+  std::remove(text_path.c_str());
+}
+
 // ------------------------------------------------------------ partition ---
 
 class PartitionProperty

@@ -8,11 +8,14 @@
 #include <map>
 #include <numeric>
 
+#include "atlc/core/jaccard.hpp"
 #include "atlc/core/lcc.hpp"
+#include "atlc/core/similarity.hpp"
 #include "atlc/graph/clean.hpp"
 #include "atlc/graph/degree_stats.hpp"
 #include "atlc/graph/generators.hpp"
 #include "atlc/graph/reference.hpp"
+#include "atlc/stream/stream_engine.hpp"
 #include "atlc/tric/tric.hpp"
 
 namespace atlc {
@@ -205,6 +208,81 @@ TEST(Determinism, ResultsIndependentOfRankCount) {
   for (std::uint32_t p : {2u, 3u, 7u, 12u}) {
     const auto rp = core::run_distributed_lcc(g, p);
     ASSERT_EQ(rp.triangles, r1.triangles) << "p=" << p;
+  }
+}
+
+TEST(Determinism, LccIndependentOfRankCountCyclic) {
+  // The Block1D sweep above has a Cyclic1D twin: per-vertex results must
+  // be invariant to BOTH the rank count and the partitioning scheme.
+  const CSRGraph& g = graph_for(Family::Circles);
+  const auto ref = core::run_distributed_lcc(g, 1);
+  for (std::uint32_t p : {1u, 2u, 4u, 8u}) {
+    const auto rp = core::run_distributed_lcc(g, p, {}, {},
+                                              graph::PartitionKind::Cyclic1D);
+    ASSERT_EQ(rp.triangles, ref.triangles) << "p=" << p;
+    EXPECT_EQ(rp.global_triangles, ref.global_triangles) << "p=" << p;
+    for (std::size_t v = 0; v < ref.lcc.size(); ++v)
+      ASSERT_DOUBLE_EQ(rp.lcc[v], ref.lcc[v]) << "p=" << p << " v=" << v;
+  }
+}
+
+TEST(Determinism, TcIndependentOfPartitionKind) {
+  const CSRGraph& g = graph_for(Family::Rmat);
+  const auto expected = graph::reference_lcc(g).global_triangles;
+  for (std::uint32_t p : {1u, 2u, 4u, 8u}) {
+    for (const auto kind :
+         {graph::PartitionKind::Block1D, graph::PartitionKind::Cyclic1D}) {
+      EXPECT_EQ(core::run_distributed_tc(g, p, {}, {}, kind), expected)
+          << "p=" << p
+          << (kind == graph::PartitionKind::Cyclic1D ? " cyclic" : " block");
+    }
+  }
+}
+
+TEST(Determinism, SimilarityAnalyticsIndependentOfPartitionKind) {
+  // Jaccard / overlap / Adamic–Adar report per-adjacency-slot scores whose
+  // layout is partition-independent; the Cyclic1D runs must reproduce the
+  // single-rank scores bit-for-bit like the Block1D runs do.
+  const CSRGraph& g = graph_for(Family::RmatDense);
+  const auto jac1 = core::run_distributed_jaccard(g, 1);
+  const auto ovl1 = core::run_distributed_overlap(g, 1);
+  const auto aa1 = core::run_distributed_adamic_adar(g, 1);
+  for (std::uint32_t p : {2u, 4u, 8u}) {
+    const auto kind = graph::PartitionKind::Cyclic1D;
+    const auto jac = core::run_distributed_jaccard(g, p, {}, {}, kind);
+    const auto ovl = core::run_distributed_overlap(g, p, {}, {}, kind);
+    const auto aa = core::run_distributed_adamic_adar(g, p, {}, {}, kind);
+    ASSERT_EQ(jac.similarity.size(), jac1.similarity.size());
+    for (std::size_t k = 0; k < jac1.similarity.size(); ++k) {
+      ASSERT_DOUBLE_EQ(jac.similarity[k], jac1.similarity[k])
+          << "jaccard p=" << p << " slot=" << k;
+      ASSERT_DOUBLE_EQ(ovl.score[k], ovl1.score[k])
+          << "overlap p=" << p << " slot=" << k;
+      ASSERT_DOUBLE_EQ(aa.score[k], aa1.score[k])
+          << "adamic-adar p=" << p << " slot=" << k;
+    }
+  }
+}
+
+TEST(Determinism, StreamingIndependentOfPartitionKind) {
+  // The dynamic engine joins the same invariant: identical final state for
+  // every (ranks, partition) combination.
+  const CSRGraph& g = graph_for(Family::Rmat);
+  stream::WorkloadConfig wl;
+  wl.num_batches = 2;
+  wl.batch_size = 64;
+  wl.seed = 5;
+  const auto batches = stream::generate_batches(g, wl);
+  const auto base = stream::run_streaming_lcc(g, batches, 1, {});
+  for (std::uint32_t p : {2u, 4u, 8u}) {
+    for (const auto kind :
+         {graph::PartitionKind::Block1D, graph::PartitionKind::Cyclic1D}) {
+      stream::StreamOptions opts;
+      opts.partition = kind;
+      const auto r = stream::run_streaming_lcc(g, batches, p, opts);
+      ASSERT_EQ(r.triangles, base.triangles) << "p=" << p;
+      EXPECT_EQ(r.global_triangles, base.global_triangles) << "p=" << p;
+    }
   }
 }
 

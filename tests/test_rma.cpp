@@ -130,6 +130,67 @@ TEST(Window, LocalGetCountsAsLocal) {
   });
 }
 
+TEST(Window, EpochStartsAtZeroAndRefreshBumpsOnce) {
+  Runtime::run(opts(4), [&](RankCtx& ctx) {
+    std::vector<std::uint32_t> local(8, ctx.rank());
+    auto win = ctx.create_window<std::uint32_t>(local);
+    EXPECT_EQ(win.epoch(), 0u);
+
+    // One collective refresh = exactly one bump, regardless of rank count.
+    for (auto& x : local) x += 10;
+    ctx.refresh_window(win, std::span<const std::uint32_t>(local));
+    EXPECT_EQ(win.epoch(), 1u);
+    ctx.refresh_window(win, std::span<const std::uint32_t>(local));
+    EXPECT_EQ(win.epoch(), 2u);
+    ctx.barrier();
+  });
+}
+
+TEST(Window, RefreshRepublishesMutatedAndReallocatedBuffers) {
+  Runtime::run(opts(3), [&](RankCtx& ctx) {
+    std::vector<std::uint32_t> local(4, ctx.rank());
+    auto win = ctx.create_window<std::uint32_t>(local);
+
+    const std::uint32_t peer = (ctx.rank() + 1) % ctx.num_ranks();
+    std::uint32_t buf[2];
+    ctx.flush(win.get(peer, 0, 2, buf));
+    EXPECT_EQ(buf[0], peer);
+
+    // Grow the buffer (reallocation: new pointer AND new part size) before
+    // republishing — the refresh must re-register both.
+    ctx.barrier();  // quiesce reads of the old exposure before mutating
+    std::vector<std::uint32_t> bigger(6, ctx.rank() + 50);
+    local.clear();
+    local.shrink_to_fit();
+    ctx.refresh_window(win, std::span<const std::uint32_t>(bigger));
+    EXPECT_EQ(win.part_size(peer), 6u);
+    ctx.flush(win.get(peer, 4, 2, buf));
+    EXPECT_EQ(buf[0], peer + 50);
+    ctx.barrier();  // keep `bigger` exposed until all peers finished
+  });
+}
+
+TEST(Window, RefreshIsFenceSynchronising) {
+  // The entry fence must order the slowest reader's gets before any
+  // republication: every rank reads a peer part, then refreshes, and the
+  // read must always observe pre-refresh data (the eager memcpy would be a
+  // use-after-free of the cleared buffer without the fence).
+  Runtime::run(opts(4), [&](RankCtx& ctx) {
+    std::vector<std::uint32_t> local(64, ctx.rank() + 1);
+    auto win = ctx.create_window<std::uint32_t>(local);
+    const std::uint32_t peer = (ctx.rank() + 3) % ctx.num_ranks();
+    std::vector<std::uint32_t> buf(64);
+    ctx.flush(win.get(peer, 0, 64, buf.data()));
+    EXPECT_EQ(buf[0], peer + 1);
+
+    std::vector<std::uint32_t> next(64, ctx.rank() + 1000);
+    ctx.refresh_window(win, std::span<const std::uint32_t>(next));
+    ctx.flush(win.get(peer, 0, 64, buf.data()));
+    EXPECT_EQ(buf[0], peer + 1000);
+    ctx.barrier();
+  });
+}
+
 // ---------------------------------------------------------- virtual time ---
 
 TEST(VirtualTime, RemoteCostsMoreThanLocal) {
