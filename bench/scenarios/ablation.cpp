@@ -13,14 +13,6 @@ namespace {
 
 using namespace atlc;
 
-double imbalance(const core::RunResult& r) {
-  double mx = 0, sum = 0;
-  for (double c : r.run.clocks) {
-    mx = std::max(mx, c);
-    sum += c;
-  }
-  return mx / (sum / static_cast<double>(r.run.clocks.size()));
-}
 
 void add_flags(util::Cli& cli) {
   cli.add_int("ranks", "simulated ranks", 16);
@@ -87,7 +79,7 @@ void run(bench::ScenarioContext& ctx) {
           {}, g, ranks, {}, kind);
       t.add_row({block ? "Block 1D (paper)" : "Cyclic 1D [26]",
                  util::Table::fmt(r.run.makespan, 4),
-                 util::Table::fmt(imbalance(r), 3)});
+                 util::Table::fmt(r.imbalance(), 3)});
     }
     t.print("D7: 1D partitioning scheme");
     ctx.rec.add_table("D7: 1D partitioning scheme", t);

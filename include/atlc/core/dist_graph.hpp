@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "atlc/graph/csr.hpp"
+#include "atlc/graph/hub_replica.hpp"
 #include "atlc/graph/partition.hpp"
 #include "atlc/rma/runtime.hpp"
 
@@ -29,6 +30,12 @@ struct DistGraph {
   std::vector<EdgeIndex> offsets;       // n_local + 1
   std::vector<VertexId> adjacencies;    // local edge count
 
+  /// This rank's copy of the replicated hub rows (empty unless the engine
+  /// ran with EngineConfig::hub_fraction > 0). AdjacencyFetcher serves hub
+  /// adjacencies from here instead of issuing the two-get protocol;
+  /// stream::BatchApplier keeps the rows current per batch. DESIGN.md §8.
+  graph::HubReplica hubs;
+
   rma::Window<EdgeIndex> w_offsets;
   rma::Window<VertexId> w_adj;
 
@@ -51,8 +58,15 @@ struct DistGraph {
 /// (paper Fig. 3, step 1); in this shared-address-space simulation the
 /// "read" is a slice-copy out of the shared CSR, preserving the property
 /// that a rank's accessible state is its own partition + the windows.
-[[nodiscard]] DistGraph build_dist_graph(rma::RankCtx& ctx,
-                                         const CSRGraph& global,
-                                         const Partition& partition);
+///
+/// When `hubs` is non-null and non-empty, the prototype replica is copied
+/// into the rank's DistGraph and the replication traffic is priced on the
+/// virtual clock: each rank is charged one modeled remote get per hub row
+/// it does not own (the allgather a real deployment would run at load
+/// time). With a null/empty replica nothing is charged — δ=0 runs are
+/// bit-identical to pre-replication builds.
+[[nodiscard]] DistGraph build_dist_graph(
+    rma::RankCtx& ctx, const CSRGraph& global, const Partition& partition,
+    const graph::HubReplica* hubs = nullptr);
 
 }  // namespace atlc::core

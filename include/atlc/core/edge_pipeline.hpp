@@ -22,6 +22,7 @@
 #include "atlc/core/dist_graph.hpp"
 #include "atlc/core/engine_config.hpp"
 #include "atlc/core/fetcher.hpp"
+#include "atlc/graph/hub_replica.hpp"
 #include "atlc/util/check.hpp"
 
 namespace atlc::core {
@@ -42,6 +43,11 @@ concept EdgeKernel =
 struct PipelineRankStats {
   std::uint64_t edges_processed = 0;
   std::uint64_t remote_edges = 0;  ///< edges whose neighbor list was remote
+  /// Rank virtual clock when its compute phase ended, BEFORE the teardown
+  /// barrier equalised the clocks (run_edge_analytic fills it). This is the
+  /// number load-imbalance metrics must use: Runtime::Result::clocks are
+  /// post-barrier and therefore identical across ranks.
+  double busy_seconds = 0.0;
   clampi::CacheStats offsets_cache;  ///< zeroed when caching is off
   clampi::CacheStats adj_cache;
   std::vector<std::uint64_t> remote_reads;  ///< per global vertex, optional
@@ -58,6 +64,7 @@ struct EdgeAnalyticStats {
   clampi::CacheStats adj_cache_total;
   std::uint64_t edges_processed = 0;
   std::uint64_t remote_edges = 0;  ///< edges whose neighbor list was remote
+  std::vector<double> busy_clocks;  ///< per-rank pre-barrier virtual clocks
   std::vector<std::uint64_t> remote_reads;  ///< per global vertex, optional
   std::vector<clampi::EntryInfo> adj_cache_entries;  ///< all ranks, optional
 
@@ -70,7 +77,12 @@ struct EdgeAnalyticStats {
                : 0.0;
   }
 
-  /// Fold one rank's counters in (driver aggregation).
+  /// Load imbalance of the compute phase: max over mean of the per-rank
+  /// pre-barrier clocks (1.0 = perfectly balanced; the D7 and `skew`
+  /// scenarios report it). 1.0 when clocks were not recorded.
+  [[nodiscard]] double imbalance() const;
+
+  /// Fold one rank's counters in (driver aggregation; ranks in order).
   void absorb(PipelineRankStats&& rank);
 };
 
@@ -184,7 +196,11 @@ template <EdgeAnalyticBody Body>
     const CSRGraph& g, std::uint32_t ranks, const EngineConfig& config,
     const rma::NetworkModel& net, graph::PartitionKind partition_kind,
     Body&& body) {
-  const Partition partition(partition_kind, g.num_vertices(), ranks);
+  const Partition partition = graph::make_partition(g, partition_kind, ranks);
+  // One prototype, copied per rank by build_dist_graph (which also prices
+  // the replication). Empty — and free — at the default hub_fraction = 0.
+  const graph::HubReplica hub_replica =
+      graph::HubReplica::build(g, config.hub_fraction);
 
   EdgeAnalyticStats out;
   if (config.track_remote_reads)
@@ -196,10 +212,11 @@ template <EdgeAnalyticBody Body>
   opts.ranks = ranks;
   opts.net = net;
   out.run = rma::Runtime::run(opts, [&](rma::RankCtx& ctx) {
-    const DistGraph dg = build_dist_graph(ctx, g, partition);
+    const DistGraph dg = build_dist_graph(ctx, g, partition, &hub_replica);
     EdgePipeline pipeline(ctx, dg, config);
     body(ctx, dg, pipeline);
     rank_stats[ctx.rank()] = pipeline.harvest();
+    rank_stats[ctx.rank()].busy_seconds = ctx.now();
     ctx.barrier();  // end-of-epoch synchronisation (teardown only)
   });
 

@@ -62,12 +62,32 @@ struct EngineConfig {
   /// a ring of k fetch buffers. k=2 is the paper's double buffering; k=1
   /// is no overlap; larger k hides more latency until the initiator's NIC
   /// serialisation saturates (DESIGN.md §2, `pipeline_depth` scenario).
+  ///
+  /// Interaction with the cache (`use_cache`): each begin() probes the
+  /// CLaMPI windows, so a depth-k run holds up to k-1 *cache-resolved*
+  /// transfers in flight too. Hits complete at hash-probe cost, freeing the
+  /// NIC injection port for the remaining misses — which is why the cached
+  /// columns of the `pipeline_depth` scenario keep improving past the depth
+  /// where the uncached run saturates (DESIGN.md §6). Note the in-flight
+  /// window also bounds span lifetime: a finish()ed span dies after the
+  /// next k-1 remote begins, cached or not (see fetcher.hpp).
   std::size_t pipeline_depth = 2;
 
   /// Depth actually used by the engine: `double_buffer=false` maps to 1.
   [[nodiscard]] std::size_t effective_pipeline_depth() const {
     return double_buffer ? std::max<std::size_t>(1, pipeline_depth) : 1;
   }
+
+  /// Fraction δ of the highest-degree vertices whose adjacency rows are
+  /// replicated on every rank at graph-build time (graph::HubReplica,
+  /// DESIGN.md §8). The fetcher then serves those rows from local memory —
+  /// zero RMA, counted in CommStats::hub_local_hits — which removes the
+  /// hub-row churn from the CLaMPI caches. 0 disables replication with
+  /// zero overhead (bit-identical to builds without the feature); the
+  /// `skew` scenario sweeps δ ∈ {0, 0.1%, 1%}. Per-vertex results are
+  /// unchanged for any δ; virtual times change (fewer remote gets) but
+  /// stay deterministic.
+  double hub_fraction = 0.0;
 
   /// Count only common neighbors k > j (upper-triangle de-duplication,
   /// paper Section II-C). Halves work for global TC; per-vertex LCC needs

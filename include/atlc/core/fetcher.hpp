@@ -24,6 +24,14 @@ namespace atlc::core {
 /// C_adj uses the configured policy, scoring entries by the out-degree
 /// learned from step 1 (Section III-B2).
 ///
+/// When the DistGraph carries a hub replica (EngineConfig::hub_fraction),
+/// begin() resolves replicated hub rows like local ones — straight from
+/// rank memory, no get, no cache probe, no ring slot — and counts each such
+/// save in CommStats::hub_local_hits (DESIGN.md §8). The returned span
+/// aliases the replica row and stays valid until the row is next mutated
+/// (static runs never mutate it; the stream engine mutates only inside the
+/// collective apply step, which no fetch overlaps).
+///
 /// ## Buffer-ring lifetime contract
 ///
 /// Remote fetches land in a ring of `EngineConfig::effective_pipeline_depth`

@@ -1,11 +1,16 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "atlc/graph/types.hpp"
 #include "atlc/util/check.hpp"
 
 namespace atlc::graph {
+
+class CSRGraph;
 
 /// Partitioning scheme for distributing vertices over ranks.
 enum class PartitionKind : std::uint8_t {
@@ -16,19 +21,50 @@ enum class PartitionKind : std::uint8_t {
   /// Listed by the paper as the balance-improving alternative; implemented
   /// for the partitioning ablation.
   Cyclic1D,
+  /// Skew-aware contiguous ranges cut by a degree prefix sum, so each rank
+  /// owns an ~equal share of degree-weighted edge endpoints instead of
+  /// ~|V|/p vertices. make_partition() weights every local edge (v, j) by
+  /// deg(v) + deg(j) — the linear-merge intersection cost the engine
+  /// charges — which balances both the rank's edge-stream length and the
+  /// hub-row work that Block1D piles onto whichever rank owns the hubs.
+  /// Requires the degree sequence at construction: use
+  /// Partition::degree_balanced() or make_partition(). With an all-equal
+  /// degree sequence the cuts coincide with Block1D exactly. DESIGN.md §8,
+  /// docs/partitioning.md.
+  DegreeBalanced1D,
 };
 
 /// Maps global vertex ids to (rank, local index) and back. All methods are
 /// branch-cheap inline functions: the distributed inner loop calls owner()
-/// per edge endpoint.
+/// per edge endpoint. (DegreeBalanced1D pays one O(log p) binary search
+/// over the p+1 cut points instead of closed-form arithmetic.)
 class Partition {
  public:
+  /// Closed-form kinds only; DegreeBalanced1D needs the degree sequence —
+  /// construct it with degree_balanced() or make_partition().
   Partition(PartitionKind kind, VertexId num_vertices, std::uint32_t ranks)
       : kind_(kind), n_(num_vertices), p_(ranks) {
     ATLC_CHECK(ranks > 0, "partition needs >= 1 rank");
+    ATLC_CHECK(kind != PartitionKind::DegreeBalanced1D,
+               "DegreeBalanced1D needs degrees: use Partition::"
+               "degree_balanced() or graph::make_partition()");
     base_ = n_ / p_;
     extra_ = n_ % p_;  // first `extra_` ranks own base_+1 vertices
   }
+
+  /// DegreeBalanced1D factory: cut [0, n) into `ranks` contiguous ranges by
+  /// greedy prefix sum over per-vertex weights — rank k takes vertices
+  /// until its weight reaches ceil(remaining_weight / remaining_ranks).
+  /// The greedy re-quota front-loads the remainder the same way Block1D
+  /// does, so an all-equal weight sequence reproduces the Block1D
+  /// boundaries exactly (and an all-zero tail degrades to vertex-count
+  /// balance). Pass raw degrees for plain |E|/p endpoint balance, or the
+  /// deg(v)+deg(j) edge weights make_partition() uses for work balance.
+  [[nodiscard]] static Partition degree_balanced(
+      std::span<const std::uint64_t> weights, std::uint32_t ranks);
+  /// Convenience overload for a plain degree sequence.
+  [[nodiscard]] static Partition degree_balanced(
+      std::span<const VertexId> degrees, std::uint32_t ranks);
 
   [[nodiscard]] PartitionKind kind() const { return kind_; }
   [[nodiscard]] VertexId num_vertices() const { return n_; }
@@ -38,23 +74,33 @@ class Partition {
   [[nodiscard]] std::uint32_t owner(VertexId v) const {
     ATLC_DCHECK(v < n_, "vertex out of range");
     if (kind_ == PartitionKind::Cyclic1D) return v % p_;
+    if (kind_ == PartitionKind::DegreeBalanced1D) {
+      // First rank whose end cut exceeds v; empty ranges (cuts_[r] ==
+      // cuts_[r+1]) are skipped by upper_bound automatically.
+      const auto it = std::upper_bound(cuts_.begin() + 1, cuts_.end(), v);
+      return static_cast<std::uint32_t>(it - (cuts_.begin() + 1));
+    }
     // Block: the first `extra_` ranks own (base_+1) vertices each.
     const VertexId cutoff = (base_ + 1) * extra_;
     if (v < cutoff) return v / (base_ + 1);
     return extra_ + (v - cutoff) / base_;
   }
 
-  /// Number of vertices owned by `rank`.
+  /// Number of vertices owned by `rank`. For both closed-form kinds the
+  /// counts coincide: the first n%p ranks own one extra vertex (Block1D
+  /// front-loads them as blocks, Cyclic1D interleaves them).
   [[nodiscard]] VertexId part_size(std::uint32_t rank) const {
     ATLC_DCHECK(rank < p_, "rank out of range");
-    if (kind_ == PartitionKind::Cyclic1D)
-      return base_ + (rank < extra_ ? 1 : 0);
+    if (kind_ == PartitionKind::DegreeBalanced1D)
+      return cuts_[rank + 1] - cuts_[rank];
     return base_ + (rank < extra_ ? 1 : 0);
   }
 
-  /// First global vertex owned by `rank` (Block1D only).
+  /// First global vertex owned by `rank` (contiguous kinds only).
   [[nodiscard]] VertexId block_begin(std::uint32_t rank) const {
-    ATLC_DCHECK(kind_ == PartitionKind::Block1D, "block_begin: block only");
+    ATLC_DCHECK(kind_ != PartitionKind::Cyclic1D,
+                "block_begin: contiguous kinds only");
+    if (kind_ == PartitionKind::DegreeBalanced1D) return cuts_[rank];
     return rank < extra_ ? (base_ + 1) * rank
                          : (base_ + 1) * extra_ + base_ * (rank - extra_);
   }
@@ -77,6 +123,18 @@ class Partition {
   std::uint32_t p_;
   VertexId base_;
   VertexId extra_;
+  std::vector<VertexId> cuts_;  ///< p+1 range boundaries (DegreeBalanced1D)
 };
+
+/// Build a partition of `g` for `ranks`: closed-form for Block1D/Cyclic1D,
+/// degree-prefix-sum cuts (fed from g's degree sequence) for
+/// DegreeBalanced1D. The one entry point drivers should use when the kind
+/// is runtime-selected.
+[[nodiscard]] Partition make_partition(const CSRGraph& g, PartitionKind kind,
+                                       std::uint32_t ranks);
+
+/// Human-readable kind name ("block1d" / "cyclic1d" / "degree1d"), the
+/// spelling the CLI and the bench JSON use.
+[[nodiscard]] const char* partition_kind_name(PartitionKind kind);
 
 }  // namespace atlc::graph

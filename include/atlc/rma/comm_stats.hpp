@@ -16,6 +16,10 @@ struct CommStats {
   std::uint64_t barriers = 0;
   std::uint64_t messages_sent = 0;  ///< two-sided (TriC substrate)
   std::uint64_t bytes_sent = 0;
+  /// Adjacency fetches that would have been remote but were served from the
+  /// rank's hub replica instead (zero RMA; DESIGN.md §8). Not counted in
+  /// remote_gets or local_gets — a hub hit issues no window get at all.
+  std::uint64_t hub_local_hits = 0;
 
   /// Virtual seconds this rank spent blocked on communication (waiting for
   /// get completion, synchronising collectives, two-sided exchanges).
@@ -32,6 +36,7 @@ struct CommStats {
     barriers += o.barriers;
     messages_sent += o.messages_sent;
     bytes_sent += o.bytes_sent;
+    hub_local_hits += o.hub_local_hits;
     comm_seconds += o.comm_seconds;
     compute_seconds += o.compute_seconds;
     return *this;

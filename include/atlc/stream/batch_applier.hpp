@@ -46,10 +46,12 @@ class BatchApplier {
   [[nodiscard]] EffectiveBatch adjudicate(const Batch& batch);
 
   /// Collective step 2: rebuild the local CSR rows touched by `eff` (both
-  /// endpoints of every effective edge) and republish w_offsets / w_adj via
-  /// refresh_window, advancing both window epochs by one. Callers must have
-  /// synchronised (barrier) after the last read of the pre-batch state.
-  /// Returns the number of local rows rebuilt.
+  /// endpoints of every effective edge), fold the ops touching replicated
+  /// hubs into this rank's HubReplica copy (the effective sets are already
+  /// replicated, so no extra traffic — DESIGN.md §8), and republish
+  /// w_offsets / w_adj via refresh_window, advancing both window epochs by
+  /// one. Callers must have synchronised (barrier) after the last read of
+  /// the pre-batch state. Returns the number of local rows rebuilt.
   std::uint64_t apply_to_rows(const EffectiveBatch& eff);
 
  private:

@@ -23,8 +23,17 @@
 namespace atlc::stream {
 
 struct StreamOptions {
+  /// Engine configuration for the cold pass and every batch. Hub-adjacency
+  /// replication (engine.hub_fraction > 0) is fully supported: replicas are
+  /// built at the cold pass and maintained per batch by BatchApplier.
   core::EngineConfig engine{};
   rma::NetworkModel net{};
+  /// Vertex distribution, any of the three kinds (docs/partitioning.md):
+  /// Block1D (paper default, contiguous n/p blocks), Cyclic1D (owner =
+  /// v mod p, balance-improving on skew), or DegreeBalanced1D (contiguous
+  /// ranges cut by degree prefix sum, ~|E|/p edge endpoints per rank —
+  /// built from the INITIAL graph's degrees; batches mutate rows but never
+  /// re-cut the partition). Per-batch results are identical for all kinds.
   graph::PartitionKind partition = graph::PartitionKind::Block1D;
   /// Record full per-vertex triangle/LCC snapshots after every batch
   /// (tests compare each against a from-scratch reference recount). Costs

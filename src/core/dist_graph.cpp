@@ -5,13 +5,14 @@
 namespace atlc::core {
 
 DistGraph build_dist_graph(rma::RankCtx& ctx, const CSRGraph& global,
-                           const Partition& partition) {
+                           const Partition& partition,
+                           const graph::HubReplica* hubs) {
   ATLC_CHECK(partition.num_ranks() == ctx.num_ranks(),
              "partition rank count must match runtime");
   ATLC_CHECK(partition.num_vertices() == global.num_vertices(),
              "partition vertex count must match graph");
 
-  DistGraph dg{partition, global.directedness(), {}, {}, {}, {}};
+  DistGraph dg{partition, global.directedness(), {}, {}, {}, {}, {}};
 
   const VertexId n_local = partition.part_size(ctx.rank());
   dg.offsets.reserve(static_cast<std::size_t>(n_local) + 1);
@@ -21,6 +22,30 @@ DistGraph build_dist_graph(rma::RankCtx& ctx, const CSRGraph& global,
     const auto nbrs = global.neighbors(v);
     dg.adjacencies.insert(dg.adjacencies.end(), nbrs.begin(), nbrs.end());
     dg.offsets.push_back(dg.adjacencies.size());
+  }
+
+  if (hubs && !hubs->empty()) {
+    dg.hubs = *hubs;
+    // Price the replication: one modeled remote get per hub row this rank
+    // does not own (offsets pair + row payload — the same bytes the two-get
+    // protocol would move once). Owned rows cost nothing: the copy stands
+    // in for the rank contributing its own rows to the allgather.
+    double seconds = 0.0;
+    std::uint64_t bytes = 0;
+    std::uint64_t gets = 0;
+    const auto ids = dg.hubs.hub_ids();
+    for (std::size_t slot = 0; slot < ids.size(); ++slot) {
+      if (partition.owner(ids[slot]) == ctx.rank()) continue;
+      const std::uint64_t row_bytes =
+          dg.hubs.neighbors_at(slot).size() * sizeof(VertexId) +
+          2 * sizeof(EdgeIndex);
+      seconds += ctx.net().time_remote(row_bytes);
+      bytes += row_bytes;
+      ++gets;
+    }
+    ctx.stats().remote_gets += gets;
+    ctx.stats().remote_bytes += bytes;
+    ctx.charge_comm(seconds);
   }
 
   // Windows must be created after the vectors reached their final size —

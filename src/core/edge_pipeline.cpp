@@ -34,9 +34,21 @@ PipelineRankStats EdgePipeline::harvest() {
   return ps;
 }
 
+double EdgeAnalyticStats::imbalance() const {
+  if (busy_clocks.empty()) return 1.0;
+  double mx = 0.0, sum = 0.0;
+  for (const double c : busy_clocks) {
+    mx = std::max(mx, c);
+    sum += c;
+  }
+  if (sum <= 0.0) return 1.0;
+  return mx / (sum / static_cast<double>(busy_clocks.size()));
+}
+
 void EdgeAnalyticStats::absorb(PipelineRankStats&& rank) {
   edges_processed += rank.edges_processed;
   remote_edges += rank.remote_edges;
+  busy_clocks.push_back(rank.busy_seconds);
   offsets_cache_total += rank.offsets_cache;
   adj_cache_total += rank.adj_cache;
   if (!rank.remote_reads.empty()) {

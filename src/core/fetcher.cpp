@@ -90,6 +90,20 @@ AdjacencyFetcher::Token AdjacencyFetcher::begin(VertexId v) {
     return t;
   }
 
+  // Hub fast path (DESIGN.md §8): replicated rows resolve like local ones —
+  // no window get, no cache probe, no ring slot — and are tallied so
+  // benches can report the RMA traffic the replication removed.
+  if (!dg_->hubs.empty()) {
+    if (const std::size_t slot = dg_->hubs.find(v);
+        slot != graph::HubReplica::npos) {
+      t.local = true;
+      t.local_span = dg_->hubs.neighbors_at(slot);
+      t.degree = static_cast<VertexId>(t.local_span.size());
+      ++ctx_->stats().hub_local_hits;
+      return t;
+    }
+  }
+
   ++remote_fetches_;
   if (!remote_reads_.empty()) ++remote_reads_[v];
 

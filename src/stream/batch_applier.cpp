@@ -140,6 +140,25 @@ std::uint64_t BatchApplier::apply_to_rows(const EffectiveBatch& eff) {
     dg_->adjacencies = std::move(adjacencies);
   }
 
+  // Replica maintenance (DESIGN.md §8): every rank holds the full effective
+  // sets (they rode the verdict all_to_all above — no extra traffic), so
+  // each rank folds the ops touching a hub into its own replica copy here,
+  // inside the same collective step that republishes the windows. Reads of
+  // the pre-batch state stopped at the caller's barrier and resume only
+  // after the epoch-bumping refresh below, so replica and windows advance
+  // together: a hub row can never be observed at a different batch state
+  // than the owner's row behind the window.
+  if (!dg_->hubs.empty()) {
+    std::uint64_t replica_bytes = 0;
+    for (const CanonicalUpdate& op : eff.ops) {
+      const bool insert = op.op == Op::Insert;
+      replica_bytes += dg_->hubs.apply(op.a, op.b, insert);
+      replica_bytes += dg_->hubs.apply(op.b, op.a, insert);
+    }
+    if (replica_bytes > 0)
+      ctx_->charge_compute(ctx_->net().time_local(replica_bytes));
+  }
+
   // Republish: collective fences inside refresh_window order the swap
   // against every peer's reads and advance both window epochs, which is
   // what invalidates CLaMPI entries fetched from the pre-batch exposure.

@@ -18,8 +18,10 @@ StreamResult run_streaming_lcc(const graph::CSRGraph& g,
   core::EngineConfig cfg = options.engine;
   cfg.upper_triangle_only = false;  // LCC needs full per-vertex counts
 
-  const graph::Partition partition(options.partition, g.num_vertices(),
-                                   ranks);
+  const graph::Partition partition =
+      graph::make_partition(g, options.partition, ranks);
+  const graph::HubReplica hub_proto =
+      graph::HubReplica::build(g, cfg.hub_fraction);
 
   StreamResult out;
   out.triangles.assign(g.num_vertices(), 0);
@@ -38,7 +40,7 @@ StreamResult run_streaming_lcc(const graph::CSRGraph& g,
   ropts.ranks = ranks;
   ropts.net = options.net;
   out.run = rma::Runtime::run(ropts, [&](rma::RankCtx& ctx) {
-    core::DistGraph dg = core::build_dist_graph(ctx, g, partition);
+    core::DistGraph dg = core::build_dist_graph(ctx, g, partition, &hub_proto);
     core::EdgePipeline pipeline(ctx, dg, cfg);
 
     // Cold start: the standard static pass seeds per-vertex t(v)/LCC and

@@ -115,8 +115,56 @@ TEST_P(LccAcrossRanks, MatchesReferenceWithCyclicPartition) {
                              graph::PartitionKind::Cyclic1D));
 }
 
+TEST_P(LccAcrossRanks, MatchesReferenceWithDegreeBalancedPartition) {
+  const CSRGraph g = rmat_graph(8, 8, 7);
+  expect_matches_reference(
+      g, run_distributed_lcc(g, GetParam(), {}, {},
+                             graph::PartitionKind::DegreeBalanced1D));
+}
+
+TEST_P(LccAcrossRanks, MatchesReferenceWithHubReplication) {
+  const CSRGraph g = rmat_graph(9, 8, 9);
+  EngineConfig cfg;
+  cfg.hub_fraction = 0.02;
+  expect_matches_reference(g, run_distributed_lcc(g, GetParam(), cfg));
+}
+
+TEST_P(LccAcrossRanks, MatchesReferenceWithHubsCacheAndDegreePartition) {
+  // The full skew-aware stack at once: degree-balanced cuts, replicated
+  // hubs, CLaMPI caches, degree victim scores.
+  const CSRGraph g = rmat_graph(9, 8, 11);
+  EngineConfig cfg;
+  cfg.hub_fraction = 0.05;
+  cfg.use_cache = true;
+  cfg.victim_policy = clampi::VictimPolicy::UserScore;
+  cfg.cache_sizing = CacheSizing::paper_default(g.num_vertices(), 1 << 18);
+  expect_matches_reference(
+      g, run_distributed_lcc(g, GetParam(), cfg, {},
+                             graph::PartitionKind::DegreeBalanced1D));
+}
+
 INSTANTIATE_TEST_SUITE_P(Ranks, LccAcrossRanks,
                          ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+TEST(Lcc, HubReplicationTradesRemoteGetsForLocalHits) {
+  const CSRGraph g = rmat_graph(9, 8, 10);
+  EngineConfig plain, hubbed;
+  hubbed.hub_fraction = 0.01;
+  const auto a = run_distributed_lcc(g, 4, plain);
+  const auto b = run_distributed_lcc(g, 4, hubbed);
+  // Same answers; replication is a pure traffic optimisation.
+  EXPECT_EQ(a.triangles, b.triangles);
+  EXPECT_EQ(a.global_triangles, b.global_triangles);
+  // δ=0 runs never touch the hub path; δ>0 serves hub rows locally and
+  // nets fewer remote gets even counting the build-time replication.
+  EXPECT_EQ(a.run.total().hub_local_hits, 0u);
+  EXPECT_GT(b.run.total().hub_local_hits, 0u);
+  EXPECT_LT(b.run.total().remote_gets, a.run.total().remote_gets);
+  // Virtual time stays deterministic with hubs enabled.
+  const auto b2 = run_distributed_lcc(g, 4, hubbed);
+  EXPECT_DOUBLE_EQ(b.run.makespan, b2.run.makespan);
+  EXPECT_EQ(b.run.total().hub_local_hits, b2.run.total().hub_local_hits);
+}
 
 TEST(Lcc, TinyCacheStillCorrect) {
   // A cache under severe eviction pressure must never corrupt results.

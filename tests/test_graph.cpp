@@ -2,15 +2,20 @@
 // generators, IO, partitioning, degree statistics and reference LCC/TC.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <numeric>
 #include <set>
+#include <span>
+#include <vector>
 
 #include "atlc/graph/clean.hpp"
 #include "atlc/graph/csr.hpp"
 #include "atlc/graph/degree_stats.hpp"
 #include "atlc/graph/edge_list.hpp"
 #include "atlc/graph/generators.hpp"
+#include "atlc/graph/hub_replica.hpp"
 #include "atlc/graph/io.hpp"
 #include "atlc/graph/partition.hpp"
 #include "atlc/graph/reference.hpp"
@@ -484,6 +489,211 @@ TEST(Partition, CyclicSpreadsConsecutiveVertices) {
   EXPECT_EQ(part.owner(0), 0u);
   EXPECT_EQ(part.owner(1), 1u);
   EXPECT_EQ(part.owner(4), 0u);
+}
+
+// ------------------------------------------------- degree-balanced cuts ---
+
+/// Owner/local/global round trip + disjoint coverage, the same property
+/// PartitionProperty asserts for the closed-form kinds.
+void expect_partition_consistent(const Partition& part) {
+  const VertexId n = part.num_vertices();
+  std::vector<int> owner_count(n, 0);
+  VertexId total = 0;
+  for (std::uint32_t r = 0; r < part.num_ranks(); ++r) {
+    total += part.part_size(r);
+    for (VertexId l = 0; l < part.part_size(r); ++l) {
+      const VertexId v = part.global_id(r, l);
+      ASSERT_LT(v, n);
+      ++owner_count[v];
+      ASSERT_EQ(part.owner(v), r) << "vertex " << v;
+      ASSERT_EQ(part.local_index(v), l) << "vertex " << v;
+    }
+  }
+  EXPECT_EQ(total, n);
+  for (int c : owner_count) EXPECT_EQ(c, 1);
+}
+
+TEST(DegreeBalanced, RoundTripOnSkewedSequence) {
+  // One huge hub, a mid tier, and a long light tail.
+  std::vector<std::uint64_t> w = {5000, 3, 40, 1, 900, 2, 2, 60, 1, 1,
+                                  700,  4, 4,  4, 4,   8, 8, 1,  1, 1};
+  for (const std::uint32_t p : {1u, 2u, 3u, 5u, 8u}) {
+    const Partition part = Partition::degree_balanced(w, p);
+    EXPECT_EQ(part.kind(), PartitionKind::DegreeBalanced1D);
+    expect_partition_consistent(part);
+  }
+}
+
+TEST(DegreeBalanced, PrefixCutBoundsPerRankWeight) {
+  // Greedy ceil re-quota guarantee: every rank's owned weight stays below
+  // ceil(total/p) + max single weight (a rank overshoots its quota by at
+  // most one vertex).
+  std::vector<std::uint64_t> w;
+  std::uint64_t total = 0, wmax = 0;
+  for (int i = 0; i < 257; ++i) {
+    const std::uint64_t d = (i % 61 == 0) ? 1000 + i : 1 + (i % 7);
+    w.push_back(d);
+    total += d;
+    wmax = std::max(wmax, d);
+  }
+  for (const std::uint32_t p : {2u, 4u, 16u}) {
+    const Partition part = Partition::degree_balanced(w, p);
+    const std::uint64_t bound = (total + p - 1) / p + wmax;
+    for (std::uint32_t r = 0; r < p; ++r) {
+      std::uint64_t owned = 0;
+      for (VertexId l = 0; l < part.part_size(r); ++l)
+        owned += w[part.global_id(r, l)];
+      EXPECT_LT(owned, bound) << "rank " << r << " of " << p;
+    }
+  }
+}
+
+TEST(DegreeBalanced, HeavyHubGetsItsOwnRank) {
+  // The hub alone exceeds the fair share, so the greedy cut isolates it.
+  std::vector<std::uint64_t> w(101, 1);
+  w[0] = 1000;
+  const Partition part = Partition::degree_balanced(w, 4);
+  EXPECT_EQ(part.part_size(0), 1u);
+  EXPECT_EQ(part.owner(0), 0u);
+  expect_partition_consistent(part);
+}
+
+TEST(DegreeBalanced, MorePartsThanVertices) {
+  const std::vector<std::uint64_t> w = {7, 3, 9};
+  const Partition part = Partition::degree_balanced(w, 8);
+  expect_partition_consistent(part);
+  VertexId nonempty = 0;
+  for (std::uint32_t r = 0; r < 8; ++r) nonempty += part.part_size(r) > 0;
+  EXPECT_LE(nonempty, 3u);
+}
+
+TEST(DegreeBalanced, AllEqualDegreesMatchBlock1D) {
+  for (const VertexId n : {1u, 7u, 10u, 64u, 100u, 1023u}) {
+    for (const std::uint32_t p : {1u, 2u, 4u, 5u, 16u}) {
+      for (const std::uint64_t d : {0u, 1u, 3u}) {
+        const std::vector<std::uint64_t> w(n, d);
+        const Partition deg = Partition::degree_balanced(w, p);
+        const Partition block(PartitionKind::Block1D, n, p);
+        for (std::uint32_t r = 0; r < p; ++r)
+          ASSERT_EQ(deg.part_size(r), block.part_size(r))
+              << "n=" << n << " p=" << p << " d=" << d << " rank " << r;
+        for (VertexId v = 0; v < n; ++v) {
+          ASSERT_EQ(deg.owner(v), block.owner(v)) << "vertex " << v;
+          ASSERT_EQ(deg.local_index(v), block.local_index(v));
+        }
+      }
+    }
+  }
+}
+
+TEST(DegreeBalanced, VertexIdOverloadMatchesWeights) {
+  const std::vector<VertexId> deg = {4, 4, 1, 9, 2, 2, 8};
+  const std::vector<std::uint64_t> wide(deg.begin(), deg.end());
+  const Partition a = Partition::degree_balanced(
+      std::span<const VertexId>(deg), 3);
+  const Partition b = Partition::degree_balanced(
+      std::span<const std::uint64_t>(wide), 3);
+  for (VertexId v = 0; v < 7; ++v) EXPECT_EQ(a.owner(v), b.owner(v));
+}
+
+TEST(DegreeBalanced, MakePartitionBalancesEdgeWork) {
+  // make_partition weights each local edge by its endpoint degrees; on a
+  // skewed graph the resulting per-rank work spread must beat Block1D's.
+  auto e = generate_rmat({.scale = 10, .edge_factor = 8, .seed = 12});
+  clean(e);
+  const CSRGraph g = CSRGraph::from_edges(e);
+  const Partition part = make_partition(g, PartitionKind::DegreeBalanced1D, 8);
+  EXPECT_EQ(part.kind(), PartitionKind::DegreeBalanced1D);
+  expect_partition_consistent(part);
+
+  const auto work_spread = [&](const Partition& p) {
+    std::uint64_t mx = 0, total = 0;
+    for (std::uint32_t r = 0; r < p.num_ranks(); ++r) {
+      std::uint64_t owned = 0;
+      for (VertexId l = 0; l < p.part_size(r); ++l) {
+        const VertexId v = p.global_id(r, l);
+        for (const VertexId j : g.neighbors(v)) owned += g.degree(v) + g.degree(j);
+      }
+      mx = std::max(mx, owned);
+      total += owned;
+    }
+    return static_cast<double>(mx) * static_cast<double>(p.num_ranks()) /
+           static_cast<double>(total);
+  };
+  const Partition block(PartitionKind::Block1D, g.num_vertices(), 8);
+  EXPECT_LT(work_spread(part), work_spread(block));
+  EXPECT_LT(work_spread(part), 1.2);  // near-balanced in the cut's own metric
+}
+
+TEST(Partition, DegreeBalancedKindRejectedByPlainConstructor) {
+  testsupport::use_threadsafe_death_tests();
+  EXPECT_DEATH(Partition(PartitionKind::DegreeBalanced1D, 10, 2),
+               "degree_balanced");
+}
+
+TEST(Partition, KindNames) {
+  EXPECT_STREQ(partition_kind_name(PartitionKind::Block1D), "block1d");
+  EXPECT_STREQ(partition_kind_name(PartitionKind::Cyclic1D), "cyclic1d");
+  EXPECT_STREQ(partition_kind_name(PartitionKind::DegreeBalanced1D),
+               "degree1d");
+}
+
+// ------------------------------------------------------------ hub replica ---
+
+TEST(HubReplica, SelectsTopDegreeDeterministically) {
+  auto e = generate_rmat({.scale = 9, .edge_factor = 8, .seed = 13});
+  clean(e);
+  const CSRGraph g = CSRGraph::from_edges(e);
+  const HubReplica h = HubReplica::build(g, 0.02);
+  const auto expected = static_cast<std::size_t>(
+      std::ceil(0.02 * static_cast<double>(g.num_vertices())));
+  ASSERT_EQ(h.num_hubs(), expected);
+  // The pick is exactly the top-k of the (degree desc, id asc) order, and
+  // every replicated row mirrors the CSR verbatim.
+  const auto order = vertices_by_degree_desc(g);
+  std::set<VertexId> want(order.begin(),
+                          order.begin() + static_cast<long>(expected));
+  for (const VertexId v : h.hub_ids()) {
+    EXPECT_TRUE(want.contains(v)) << "vertex " << v;
+    const auto row = h.neighbors_at(h.find(v));
+    const auto ref = g.neighbors(v);
+    ASSERT_EQ(row.size(), ref.size());
+    for (std::size_t i = 0; i < row.size(); ++i) ASSERT_EQ(row[i], ref[i]);
+  }
+  EXPECT_EQ(h.find(order.back()), HubReplica::npos);  // lightest vertex
+}
+
+TEST(HubReplica, ZeroFractionIsEmptyAndFree) {
+  const CSRGraph g = CSRGraph::from_edges(paper_example());
+  const HubReplica h = HubReplica::build(g, 0.0);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.replica_bytes(), 0u);
+  EXPECT_FALSE(h.contains(0));
+}
+
+TEST(HubReplica, TinyGraphPositiveFractionReplicatesAtLeastOne) {
+  const CSRGraph g = CSRGraph::from_edges(paper_example());
+  const HubReplica h = HubReplica::build(g, 0.001);  // ceil(0.001 * 6) = 1
+  EXPECT_EQ(h.num_hubs(), 1u);
+}
+
+TEST(HubReplica, ApplyMaintainsSortedRows) {
+  const CSRGraph g = CSRGraph::from_edges(paper_example());
+  HubReplica h = HubReplica::build(g, 1.0);  // replicate everything
+  ASSERT_TRUE(h.contains(2));
+  const auto before = h.neighbors_at(h.find(2)).size();
+  EXPECT_GT(h.apply(2, 5, true), 0u);   // insert edge (2,5)
+  EXPECT_GT(h.apply(5, 2, true), 0u);
+  const std::uint64_t bytes = h.apply(2, 0, false);  // delete (2,0)
+  EXPECT_EQ(bytes, h.neighbors_at(h.find(2)).size() * sizeof(VertexId));
+  const auto row = h.neighbors_at(h.find(2));
+  EXPECT_EQ(row.size(), before);  // +1 insert, -1 delete
+  EXPECT_TRUE(std::is_sorted(row.begin(), row.end()));
+  EXPECT_TRUE(std::binary_search(row.begin(), row.end(), 5u));
+  EXPECT_FALSE(std::binary_search(row.begin(), row.end(), 0u));
+  // Non-hub endpoints are a priced-at-zero no-op.
+  HubReplica none = HubReplica::build(g, 0.0);
+  EXPECT_EQ(none.apply(2, 5, true), 0u);
 }
 
 // ----------------------------------------------------------- references ---

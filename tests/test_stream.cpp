@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "atlc/graph/clean.hpp"
+#include "atlc/graph/degree_stats.hpp"
 #include "atlc/graph/reference.hpp"
 #include "atlc/stream/stream_engine.hpp"
 #include "atlc/stream/update.hpp"
@@ -229,6 +230,60 @@ INSTANTIATE_TEST_SUITE_P(
         SweepCase{8, graph::PartitionKind::Block1D, true},
         SweepCase{8, graph::PartitionKind::Cyclic1D, false}),
     sweep_name);
+
+// --------------------------------------------------------- hub replication ---
+
+TEST(StreamHubs, ParityWithHubReplicationAcrossRanks) {
+  // With hub rows replicated AND mutated by batches, every per-batch
+  // snapshot must still match the reference recount bit-identically: the
+  // replica is maintained inside the same collective apply step that
+  // republishes the windows (DESIGN.md §8).
+  const CSRGraph g = testsupport::rmat_graph(7, 6, 58);
+  stream::WorkloadConfig wl;
+  wl.num_batches = 3;
+  wl.batch_size = 48;
+  wl.insert_fraction = 0.55;
+  wl.seed = 21;
+  const auto batches = stream::generate_batches(g, wl);
+  for (const std::uint32_t p : {1u, 2u, 4u}) {
+    for (const auto kind : {graph::PartitionKind::Block1D,
+                            graph::PartitionKind::DegreeBalanced1D}) {
+      for (const bool cache : {false, true}) {
+        auto opts = make_opts(g, cache, kind);
+        opts.engine.hub_fraction = 0.03;
+        stream::StreamResult r;
+        expect_stream_matches_reference(g, batches, p, opts, &r);
+        if (p > 1) {
+          // Hubs actually served fetches; a broken fast path that never
+          // triggers would vacuously pass the parity check.
+          EXPECT_GT(r.run.total().hub_local_hits, 0u)
+              << "p=" << p << " cache=" << cache;
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamHubs, HubHeavyBatchesKeepReplicaConsistent) {
+  // Target the highest-degree vertex directly: delete and re-insert edges
+  // incident to it so the replica rows themselves are rewritten each batch.
+  const CSRGraph g = testsupport::rmat_graph(7, 8, 59);
+  const auto order = graph::vertices_by_degree_desc(g);
+  const VertexId hub = order[0];
+  const auto nbrs = g.neighbors(hub);
+  ASSERT_GE(nbrs.size(), 4u);
+  const std::vector<Batch> batches = {
+      {{hub, nbrs[0], Op::Delete}, {hub, nbrs[1], Op::Delete}},
+      {{hub, nbrs[0], Op::Insert}, {hub, nbrs[2], Op::Delete}},
+      {{hub, nbrs[1], Op::Insert}, {hub, nbrs[2], Op::Insert}}};
+  for (const std::uint32_t p : {2u, 4u}) {
+    auto opts = make_opts(g, true, graph::PartitionKind::DegreeBalanced1D);
+    opts.engine.hub_fraction = 0.02;
+    stream::StreamResult r;
+    expect_stream_matches_reference(g, batches, p, opts, &r);
+    EXPECT_GT(r.run.total().hub_local_hits, 0u);
+  }
+}
 
 // ----------------------------------------------------------- epoch safety ---
 

@@ -60,6 +60,7 @@ core::EngineConfig engine_config(const util::Cli& cli,
   cfg.double_buffer = !cli.get_flag("no-overlap");
   cfg.pipeline_depth = static_cast<std::size_t>(
       std::max<std::int64_t>(1, cli.get_int("pipeline-depth")));
+  cfg.hub_fraction = cli.get_double("hub-frac");
   if (cli.get_flag("cache")) {
     cfg.use_cache = true;
     cfg.cache_sizing = core::CacheSizing::paper_default(
@@ -84,6 +85,9 @@ void print_run_summary(const rma::Runtime::Result& run,
                static_cast<unsigned long long>(total.remote_gets),
                total.comm_seconds, total.compute_seconds,
                100.0 * adj.hit_rate());
+  if (total.hub_local_hits > 0)
+    std::fprintf(stderr, "# hub replica served %llu fetches locally\n",
+                 static_cast<unsigned long long>(total.hub_local_hits));
 }
 
 }  // namespace
@@ -98,7 +102,11 @@ int main(int argc, char** argv) {
   cli.add_int("seed", "generator / relabeling seed", 1);
   cli.add_string("algo", "lcc | tc | jaccard | overlap | adamic-adar", "lcc");
   cli.add_int("ranks", "simulated compute nodes", 8);
-  cli.add_string("partition", "block | cyclic", "block");
+  cli.add_string("partition", "block | cyclic | degree1d", "block");
+  cli.add_double("hub-frac",
+                 "replicate the adjacency of this fraction of the "
+                 "highest-degree vertices on every rank (0 = off)",
+                 0.0);
   cli.add_string("method", "hybrid | ssi | binary", "hybrid");
   cli.add_flag("no-overlap", "disable transfer/compute overlap (depth 1)",
                false);
@@ -160,9 +168,21 @@ int main(int argc, char** argv) {
                deg.gini, load_timer.elapsed_s());
 
   const auto ranks = static_cast<std::uint32_t>(cli.get_int("ranks"));
-  const auto partition = cli.get_string("partition") == "cyclic"
-                             ? graph::PartitionKind::Cyclic1D
-                             : graph::PartitionKind::Block1D;
+  const std::string& part_name = cli.get_string("partition");
+  graph::PartitionKind partition;
+  if (part_name == "block" || part_name == "block1d") {
+    partition = graph::PartitionKind::Block1D;
+  } else if (part_name == "cyclic" || part_name == "cyclic1d") {
+    partition = graph::PartitionKind::Cyclic1D;
+  } else if (part_name == "degree1d") {
+    partition = graph::PartitionKind::DegreeBalanced1D;
+  } else {
+    std::fprintf(stderr,
+                 "atlc_run: unknown --partition '%s' (block | cyclic | "
+                 "degree1d)\n",
+                 part_name.c_str());
+    return 1;
+  }
   const auto cfg = engine_config(cli, g);
   auto out = open_out(cli.get_string("out"));
 

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links.
+
+Scans the given markdown files (and every *.md under given directories)
+for inline links/images `[text](target)` and reference definitions
+`[label]: target`, and verifies that every relative target resolves to an
+existing file or directory, relative to the file containing the link.
+External schemes (http/https/mailto), pure in-page anchors (#...), and
+absolute paths are skipped; a `#fragment` suffix on a relative target is
+stripped before the existence check (fragments themselves are not
+validated). Exits non-zero listing every broken link.
+
+Usage: tools/check_md_links.py README.md DESIGN.md docs ...
+       (no arguments: checks *.md at the repo root plus docs/)
+
+Stdlib only — runs anywhere CI has a python3.
+"""
+
+import os
+import re
+import sys
+
+# Inline [text](target "title") — target ends at whitespace or ')';
+# reference definitions [label]: target at line start.
+INLINE_RE = re.compile(r"!?\[[^\]]*\]\(\s*([^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")
+REFDEF_RE = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def strip_code(text: str) -> str:
+    """Drop fenced and inline code spans so example snippets aren't checked."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def collect_files(args):
+    files, missing = [], []
+    for arg in args:
+        if os.path.isdir(arg):
+            for root, _dirs, names in os.walk(arg):
+                files.extend(
+                    os.path.join(root, n) for n in names if n.endswith(".md"))
+        elif os.path.isfile(arg):
+            files.append(arg)
+        else:
+            missing.append(arg)
+    return files, missing
+
+
+def check_file(path):
+    broken = []
+    with open(path, encoding="utf-8") as f:
+        text = strip_code(f.read())
+    targets = INLINE_RE.findall(text) + REFDEF_RE.findall(text)
+    base = os.path.dirname(path) or "."
+    for target in targets:
+        if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        if target.startswith("/"):  # absolute: outside the repo's control
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        if not os.path.exists(os.path.join(base, rel)):
+            broken.append((path, target))
+    return broken
+
+
+def main(argv):
+    args = argv[1:]
+    if not args:
+        args = [p for p in sorted(os.listdir(".")) if p.endswith(".md")]
+        if os.path.isdir("docs"):
+            args.append("docs")
+    files, missing = collect_files(args)
+    for arg in missing:
+        print(f"check_md_links: no such file or directory: {arg}",
+              file=sys.stderr)
+    if missing:
+        return 2
+    if not files:
+        print("check_md_links: no markdown files found", file=sys.stderr)
+        return 2
+    broken = []
+    for path in files:
+        broken.extend(check_file(path))
+    for path, target in broken:
+        print(f"BROKEN LINK: {path}: ({target})", file=sys.stderr)
+    print(f"check_md_links: {len(files)} files, "
+          f"{len(broken)} broken link(s)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
