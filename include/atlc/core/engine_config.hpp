@@ -35,6 +35,27 @@ struct CacheSizing {
 struct EngineConfig {
   intersect::Method method = intersect::Method::Hybrid;
 
+  /// Kernel generation serving local intersections (intersect/tiered.hpp,
+  /// DESIGN.md §9). `Paper` — the default — is the scalar binary/SSI/hybrid
+  /// family selected by `method`, and is what every checked-in virtual-time
+  /// smoke baseline was recorded against; it must stay the default so those
+  /// baselines reproduce bit-identically. `Tiered` dispatches per list
+  /// shape: a dense reusable bitmap for hub rows, galloping search for
+  /// highly skewed pairs, branch-reduced merge for the long tail. Results
+  /// are identical under either tier (all kernels are exact); only the
+  /// charged virtual compute time differs.
+  intersect::Tier intersect_tier = intersect::Tier::Paper;
+
+  /// Shape thresholds of the Tiered dispatch (ignored under Paper).
+  intersect::TierPolicy tier_policy{};
+
+  /// Orient the input degree-ordered (graph::orient_dodg) before counting,
+  /// so each triangle is enumerated exactly once with no per-edge
+  /// upper-triangle floor trick. Honored by run_distributed_tc only: LCC
+  /// and the similarity analytics need full undirected neighborhoods, so
+  /// their drivers reject it. DESIGN.md §9.
+  bool orient_dodg = false;
+
   /// Compute-cost model for virtual-time charging (see
   /// intersect/cost_model.hpp). Benches calibrate this once on startup.
   intersect::CostModel cost{};

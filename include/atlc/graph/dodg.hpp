@@ -1,0 +1,36 @@
+#pragma once
+
+#include "atlc/graph/csr.hpp"
+
+namespace atlc::graph {
+
+/// The total order DODG orientation uses: u precedes v iff
+/// (deg(u), u) < (deg(v), v). Ties in degree break by vertex id, so the
+/// order — and therefore the orientation — is deterministic.
+[[nodiscard]] inline bool dodg_precedes(VertexId deg_u, VertexId u,
+                                        VertexId deg_v, VertexId v) {
+  return deg_u != deg_v ? deg_u < deg_v : u < v;
+}
+
+/// Degree-ordered directed graph (DODG) preprocessing (ROADMAP item 1;
+/// Sanders & Uhl, PAPERS.md): orient each undirected edge {u, v} from the
+/// endpoint with the lower (degree, id) to the higher, producing a directed
+/// CSR whose rows are out-neighborhoods (sorted by id, as all CSR rows are).
+///
+/// Properties the tests in tests/test_graph.cpp pin down:
+///   - the result is acyclic (edges strictly increase in the (deg, id)
+///     total order);
+///   - every out-degree is bounded by sqrt(num_edges()): out-neighbors of v
+///     all have degree >= deg(v), so out-deg(v) <= min(deg(v), 2m/deg(v));
+///   - sum over oriented edges (u, v) of |N+(u) ∩ N+(v)| counts each
+///     triangle of the undirected input EXACTLY once — the triangle
+///     {a, b, c} with a < b < c in the order is found only at edge (a, b),
+///     as c is an out-neighbor of both — with no per-edge floor trick
+///     (intersect::count_common_above) needed.
+///
+/// Input must be an undirected CSR storing both orientations of every edge
+/// (the repo's standard form); the result has half the edges and
+/// Directedness::Directed.
+[[nodiscard]] CSRGraph orient_dodg(const CSRGraph& g);
+
+}  // namespace atlc::graph

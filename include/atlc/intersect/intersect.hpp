@@ -19,6 +19,43 @@ enum class Method : std::uint8_t {
 
 [[nodiscard]] const char* method_name(Method m);
 
+/// Kernel generation serving local intersections. `Paper` is the scalar
+/// binary/SSI/hybrid family above (the default: every virtual-time smoke
+/// baseline is calibrated against it and stays bit-identical); `Tiered`
+/// dispatches per list shape to the bitmap/galloping/branch-reduced-merge
+/// kernels in tiered.hpp (DESIGN.md §9).
+enum class Tier : std::uint8_t { Paper, Tiered };
+
+[[nodiscard]] const char* tier_name(Tier t);
+
+/// The concrete kernel the Tiered dispatch picked for one pair — also the
+/// key the cost model prices tiered intersections under.
+enum class TierKernel : std::uint8_t {
+  MergeVec,  ///< branch-reduced quad-skip merge (the long-tail default)
+  Gallop,    ///< galloping binary search (highly skewed pairs)
+  Bitmap,    ///< dense row bitmap + word-AND popcount (hub rows)
+};
+
+[[nodiscard]] const char* tier_kernel_name(TierKernel k);
+
+/// Shape thresholds of the Tiered dispatch (EngineConfig::tier_policy).
+struct TierPolicy {
+  /// Rows at least this long get a reusable dense bitmap ("hub rows"); the
+  /// build cost amortises over the row's contiguous run of edges in the
+  /// pipeline's edge stream (DESIGN.md §9).
+  std::size_t bitmap_min_row = 256;
+  /// Below the bitmap threshold, pairs with |long|/|short| at or above this
+  /// ratio gallop; the rest take the branch-reduced merge.
+  double gallop_ratio = 32.0;
+};
+
+/// The Tiered selection rule: Bitmap if `row_len` (the reusable side)
+/// reaches `policy.bitmap_min_row`, else Gallop above the skew ratio, else
+/// MergeVec.
+[[nodiscard]] TierKernel select_tier_kernel(std::size_t row_len,
+                                            std::size_t other_len,
+                                            const TierPolicy& policy);
+
 /// |a ∩ b| via binary search (paper Algorithm 1). Internally searches the
 /// shorter list's elements in the longer list — "one should always assign
 /// the longer list as the search tree and the shorter one as the array of

@@ -1,10 +1,13 @@
 #include "atlc/core/lcc.hpp"
 
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "atlc/graph/dodg.hpp"
 #include "atlc/graph/reference.hpp"
 #include "atlc/intersect/intersect.hpp"
+#include "atlc/intersect/tiered.hpp"
 #include "atlc/util/check.hpp"
 
 namespace atlc::core {
@@ -13,25 +16,36 @@ namespace {
 
 /// The LCC/TC edge kernel (paper Algorithm 3 inner loop): intersect adj(v)
 /// with the fetched adj(j), optionally restricted to the upper triangle,
-/// charge the intersection's modeled cost, and accumulate t(v).
+/// charge the intersection's modeled cost, and accumulate t(v). When
+/// `tiered` is non-null the Tiered kernel generation serves the
+/// intersection instead of the paper's scalar family — same counts, tiered
+/// pricing. The local adj(v) is always the bitmap (reusable) side: it is
+/// stable for the whole run, unlike the ring-slot-backed adj_j.
 auto lcc_kernel(rma::RankCtx& ctx, const EngineConfig& config,
-                std::vector<std::uint64_t>& triangles) {
-  return [&ctx, &config, &triangles](VertexId lv, VertexId j,
-                                     std::span<const VertexId> adj_v,
-                                     std::span<const VertexId> adj_j) {
+                std::vector<std::uint64_t>& triangles,
+                intersect::TieredIntersector* tiered) {
+  return [&ctx, &config, &triangles, tiered](VertexId lv, VertexId j,
+                                             std::span<const VertexId> adj_v,
+                                             std::span<const VertexId> adj_j) {
     auto lhs = adj_v;
     auto rhs = adj_j;
     if (config.upper_triangle_only) {
       lhs = intersect::suffix_above(lhs, j);
       rhs = intersect::suffix_above(rhs, j);
     }
-    const std::uint64_t common =
-        config.parallel_intersect
-            ? intersect::count_common_parallel(lhs, rhs, config.method,
-                                               config.parallel)
-            : intersect::count_common(lhs, rhs, config.method);
-    ctx.charge_compute(config.cost.seconds(config.method, lhs.size(),
-                                           rhs.size()));
+    std::uint64_t common;
+    if (tiered != nullptr) {
+      const auto out = tiered->intersect(lhs, rhs);
+      common = out.common;
+      ctx.charge_compute(out.seconds);
+    } else {
+      common = config.parallel_intersect
+                   ? intersect::count_common_parallel(lhs, rhs, config.method,
+                                                      config.parallel)
+                   : intersect::count_common(lhs, rhs, config.method);
+      ctx.charge_compute(config.cost.seconds(config.method, lhs.size(),
+                                             rhs.size()));
+    }
     triangles[lv] += common;
   };
 }
@@ -47,7 +61,12 @@ RankResult compute_lcc_rank(rma::RankCtx& ctx, const DistGraph& dg,
   r.triangles.assign(n_local, 0);
   r.lcc.assign(n_local, 0.0);
 
-  pipeline.run(lcc_kernel(ctx, config, r.triangles));
+  std::optional<intersect::TieredIntersector> tiered;
+  if (config.intersect_tier == intersect::Tier::Tiered)
+    tiered.emplace(config.tier_policy, config.cost,
+                   dg.partition.num_vertices());
+  pipeline.run(
+      lcc_kernel(ctx, config, r.triangles, tiered ? &*tiered : nullptr));
 
   for (VertexId v = 0; v < n_local; ++v)
     r.lcc[v] = graph::lcc_score(r.triangles[v], dg.local_degree(v));
@@ -115,6 +134,30 @@ RunResult run_distributed_lcc(const CSRGraph& g, std::uint32_t ranks,
   ATLC_CHECK(!config.upper_triangle_only,
              "LCC needs full per-vertex counts; use run_distributed_tc for "
              "upper-triangle counting");
+  ATLC_CHECK(!config.orient_dodg,
+             "LCC needs full undirected neighborhoods; orient_dodg is a "
+             "run_distributed_tc optimisation");
+  return run_engine(g, ranks, config, net, partition);
+}
+
+RunResult run_distributed_tc_result(const CSRGraph& g, std::uint32_t ranks,
+                                    EngineConfig config,
+                                    const rma::NetworkModel& net,
+                                    graph::PartitionKind partition) {
+  if (config.orient_dodg && g.directedness() == Directedness::Undirected) {
+    // DODG path: each triangle appears exactly once as a common
+    // out-neighbor of its (deg, id)-least edge, so the engine runs over the
+    // oriented graph with NO per-edge suffix trimming and the raw t(v) sum
+    // IS the distinct-triangle count (run_engine's directed branch).
+    // Orientation is preprocessing, priced like partitioning: outside the
+    // ranks' virtual clocks (DESIGN.md §9).
+    const CSRGraph oriented = graph::orient_dodg(g);
+    config.upper_triangle_only = false;
+    return run_engine(oriented, ranks, config, net, partition);
+  }
+  // Paper path: upper-triangle de-duplication only applies to undirected
+  // graphs (Section II-C); directed transitive triads need the full scan.
+  config.upper_triangle_only = g.directedness() == Directedness::Undirected;
   return run_engine(g, ranks, config, net, partition);
 }
 
@@ -122,11 +165,8 @@ std::uint64_t run_distributed_tc(const CSRGraph& g, std::uint32_t ranks,
                                  EngineConfig config,
                                  const rma::NetworkModel& net,
                                  graph::PartitionKind partition) {
-  // Upper-triangle de-duplication only applies to undirected graphs (the
-  // paper's Section II-C optimisation); directed transitive triads need the
-  // full scan.
-  config.upper_triangle_only = g.directedness() == Directedness::Undirected;
-  return run_engine(g, ranks, config, net, partition).global_triangles;
+  return run_distributed_tc_result(g, ranks, std::move(config), net, partition)
+      .global_triangles;
 }
 
 }  // namespace atlc::core

@@ -1,0 +1,38 @@
+#include "atlc/graph/dodg.hpp"
+
+#include <vector>
+
+#include "atlc/util/check.hpp"
+
+namespace atlc::graph {
+
+CSRGraph orient_dodg(const CSRGraph& g) {
+  ATLC_CHECK(g.directedness() == Directedness::Undirected,
+             "orient_dodg expects the undirected both-orientations CSR");
+  const VertexId n = g.num_vertices();
+
+  // Count kept edges per row, then fill. Walking each sorted row in order
+  // preserves ascending adjacency ids, so no per-row re-sort is needed.
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    const VertexId du = g.degree(u);
+    EdgeIndex kept = 0;
+    for (const VertexId v : g.neighbors(u))
+      kept += dodg_precedes(du, u, g.degree(v), v) ? 1 : 0;
+    offsets[u + 1] = kept;
+  }
+  for (VertexId u = 0; u < n; ++u) offsets[u + 1] += offsets[u];
+
+  std::vector<VertexId> adjacencies(offsets[n]);
+  for (VertexId u = 0; u < n; ++u) {
+    const VertexId du = g.degree(u);
+    EdgeIndex w = offsets[u];
+    for (const VertexId v : g.neighbors(u))
+      if (dodg_precedes(du, u, g.degree(v), v)) adjacencies[w++] = v;
+  }
+
+  return CSRGraph::from_raw(n, std::move(offsets), std::move(adjacencies),
+                            Directedness::Directed);
+}
+
+}  // namespace atlc::graph

@@ -1,5 +1,7 @@
 #include "atlc/intersect/cost_model.hpp"
 
+#include "atlc/intersect/tiered.hpp"
+
 #include <algorithm>
 #include <bit>
 #include <numeric>
@@ -33,6 +35,34 @@ double CostModel::seconds_probes(std::size_t keys, std::size_t tree) const {
          1e-9;
 }
 
+double CostModel::seconds_tiered(TierKernel k, std::size_t row_len,
+                                 std::size_t other_len) const {
+  double work_ns = 0.0;
+  switch (k) {
+    case TierKernel::MergeVec:
+      work_ns = merge_ns_per_elem * static_cast<double>(row_len + other_len);
+      break;
+    case TierKernel::Gallop: {
+      // Each of the |short| keys gallops ~log2(|long|/|short|) + O(1) steps.
+      const std::size_t keys = std::min(row_len, other_len);
+      const std::size_t tree = std::max(row_len, other_len);
+      const std::size_t ratio = keys > 0 ? tree / keys : tree;
+      const double log_r =
+          ratio > 1 ? static_cast<double>(std::bit_width(ratio)) : 1.0;
+      work_ns = gallop_ns_per_probe * static_cast<double>(keys) * (log_r + 1.0);
+      break;
+    }
+    case TierKernel::Bitmap:
+      work_ns = bitmap_ns_per_probe * static_cast<double>(other_len);
+      break;
+  }
+  return (per_call_ns + work_ns) * 1e-9;
+}
+
+double CostModel::seconds_bitmap_build(std::size_t row_len) const {
+  return bitmap_build_ns_per_elem * static_cast<double>(row_len) * 1e-9;
+}
+
 CostModel CostModel::calibrate() {
   CostModel m;
 
@@ -56,6 +86,39 @@ CostModel CostModel::calibrate() {
   const double log_b = static_cast<double>(std::bit_width(kB));
   m.binary_ns_per_probe =
       std::max(0.05, bin_s * 1e9 / (kReps * static_cast<double>(kA) * log_b));
+
+  // Tiered generation: fit each kernel on the shape it serves.
+  t.reset();
+  for (std::size_t r = 0; r < kReps; ++r) sink = sink + count_merge_vec(a, b);
+  const double merge_s = t.elapsed_s();
+  m.merge_ns_per_elem =
+      std::max(0.05, merge_s * 1e9 / (kReps * static_cast<double>(kA + kB)));
+
+  t.reset();
+  for (std::size_t r = 0; r < kReps; ++r) sink = sink + count_gallop(a, b);
+  const double gallop_s = t.elapsed_s();
+  const double log_ratio =
+      static_cast<double>(std::bit_width(kB / kA)) + 1.0;
+  m.gallop_ns_per_probe = std::max(
+      0.05, gallop_s * 1e9 / (kReps * static_cast<double>(kA) * log_ratio));
+
+  RowBitmap bm;
+  const VertexId universe = 2 * kB + 3;  // covers both generators above
+  t.reset();
+  for (std::size_t r = 0; r < kReps; ++r) {
+    bm.build(b, universe);
+    sink = sink + bm.row_size();
+  }
+  const double build_s = t.elapsed_s();
+  m.bitmap_build_ns_per_elem =
+      std::max(0.05, build_s * 1e9 / (kReps * static_cast<double>(kB)));
+
+  bm.build(b, universe);
+  t.reset();
+  for (std::size_t r = 0; r < kReps; ++r) sink = sink + bm.count_in(a);
+  const double probe_s = t.elapsed_s();
+  m.bitmap_ns_per_probe =
+      std::max(0.05, probe_s * 1e9 / (kReps * static_cast<double>(kA)));
 
   (void)sink;
   return m;

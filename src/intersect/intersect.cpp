@@ -14,6 +14,32 @@ const char* method_name(Method m) {
   return "?";
 }
 
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::Paper: return "paper";
+    case Tier::Tiered: return "tiered";
+  }
+  return "?";
+}
+
+const char* tier_kernel_name(TierKernel k) {
+  switch (k) {
+    case TierKernel::MergeVec: return "merge_vec";
+    case TierKernel::Gallop: return "gallop";
+    case TierKernel::Bitmap: return "bitmap";
+  }
+  return "?";
+}
+
+TierKernel select_tier_kernel(std::size_t row_len, std::size_t other_len,
+                              const TierPolicy& policy) {
+  if (row_len >= policy.bitmap_min_row) return TierKernel::Bitmap;
+  const auto lo = static_cast<double>(std::min(row_len, other_len));
+  const auto hi = static_cast<double>(std::max(row_len, other_len));
+  if (lo > 0.0 && hi / lo >= policy.gallop_ratio) return TierKernel::Gallop;
+  return TierKernel::MergeVec;
+}
+
 std::uint64_t count_binary(std::span<const VertexId> a,
                            std::span<const VertexId> b) {
   // Keys from the shorter list, search tree over the longer one.

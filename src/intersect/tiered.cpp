@@ -1,0 +1,137 @@
+#include "atlc/intersect/tiered.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "atlc/util/check.hpp"
+
+namespace atlc::intersect {
+
+std::uint64_t count_merge_vec(std::span<const VertexId> a,
+                              std::span<const VertexId> b) {
+  const std::size_t na = a.size(), nb = b.size();
+  std::uint64_t count = 0;
+  std::size_t i = 0, k = 0;
+  // Quad-skip main loop: when one side's next four elements all sit below
+  // the other side's cursor, skip them wholesale (one compare per four
+  // elements on disjoint stretches); otherwise take one branch-reduced
+  // step — the equality/advance decisions become flag-setting arithmetic
+  // instead of an unpredictable three-way branch.
+  while (i + 4 <= na && k + 4 <= nb) {
+    if (a[i + 3] < b[k]) {
+      i += 4;
+      continue;
+    }
+    if (b[k + 3] < a[i]) {
+      k += 4;
+      continue;
+    }
+    const VertexId x = a[i], y = b[k];
+    count += (x == y);
+    i += (x <= y);
+    k += (y <= x);
+  }
+  // Branch-reduced tail for the final < 4 elements of either side (the
+  // SIMD-width-straddling lengths the differential harness pins down).
+  while (i < na && k < nb) {
+    const VertexId x = a[i], y = b[k];
+    count += (x == y);
+    i += (x <= y);
+    k += (y <= x);
+  }
+  return count;
+}
+
+std::uint64_t count_gallop(std::span<const VertexId> a,
+                           std::span<const VertexId> b) {
+  // Keys from the shorter list, galloped cursor over the longer one.
+  if (a.size() > b.size()) std::swap(a, b);
+  std::uint64_t count = 0;
+  std::size_t base = 0;  // b[0, base) is strictly below the current key
+  for (const VertexId x : a) {
+    if (base >= b.size()) break;
+    // Exponential advance: grow the window until b[hi] >= x (or the end).
+    std::size_t lo = base, hi = base, step = 1;
+    while (hi < b.size() && b[hi] < x) {
+      lo = hi + 1;
+      hi = lo + step;
+      step <<= 1;
+    }
+    hi = std::min(hi, b.size());
+    const auto it = std::lower_bound(b.begin() + static_cast<std::ptrdiff_t>(lo),
+                                     b.begin() + static_cast<std::ptrdiff_t>(hi),
+                                     x);
+    base = static_cast<std::size_t>(it - b.begin());
+    if (base < b.size() && b[base] == x) {
+      ++count;
+      ++base;  // keys are strictly ascending; the match can't repeat
+    }
+  }
+  return count;
+}
+
+void RowBitmap::build(std::span<const VertexId> row, VertexId universe) {
+  const std::size_t want_words = (static_cast<std::size_t>(universe) + 63) / 64;
+  if (words_.size() < want_words) {
+    words_.resize(want_words, 0);
+  } else {
+    // Clear only the bits the previous row set — O(previous row), not
+    // O(universe) — so hub-row rebuilds stay proportional to degree.
+    for (const VertexId v : set_bits_) words_[v >> 6] = 0;
+  }
+  set_bits_.assign(row.begin(), row.end());
+  for (const VertexId v : row) {
+    ATLC_DCHECK(v < universe, "row id outside the bitmap universe");
+    words_[v >> 6] |= std::uint64_t{1} << (v & 63);
+  }
+  row_data_ = row.data();
+  row_size_ = row.size();
+  built_ = true;
+}
+
+std::uint64_t RowBitmap::count_in(std::span<const VertexId> list) const {
+  std::uint64_t count = 0;
+  std::size_t i = 0;
+  while (i < list.size()) {
+    const std::size_t w = list[i] >> 6;
+    ATLC_DCHECK(w < words_.size(), "probe id outside the bitmap universe");
+    // Gather every candidate landing in this 64-bit word into one mask,
+    // then resolve them all with a single AND + popcount.
+    std::uint64_t mask = 0;
+    do {
+      mask |= std::uint64_t{1} << (list[i] & 63);
+      ++i;
+    } while (i < list.size() && (list[i] >> 6) == w);
+    count += static_cast<std::uint64_t>(std::popcount(words_[w] & mask));
+  }
+  return count;
+}
+
+TieredIntersector::Outcome TieredIntersector::intersect(
+    std::span<const VertexId> row, std::span<const VertexId> other) {
+  Outcome out;
+  out.kernel = select_tier_kernel(row.size(), other.size(), policy_);
+  switch (out.kernel) {
+    case TierKernel::Bitmap:
+      if (!bitmap_.built_for(row)) {
+        bitmap_.build(row, universe_);
+        out.seconds += cost_.seconds_bitmap_build(row.size());
+        ++stats_.bitmap_builds;
+      }
+      out.common = bitmap_.count_in(other);
+      ++stats_.bitmap_pairs;
+      break;
+    case TierKernel::Gallop:
+      out.common = count_gallop(row, other);
+      ++stats_.gallop_pairs;
+      break;
+    case TierKernel::MergeVec:
+      out.common = count_merge_vec(row, other);
+      ++stats_.merge_pairs;
+      break;
+  }
+  out.seconds += cost_.seconds_tiered(out.kernel, row.size(), other.size());
+  return out;
+}
+
+}  // namespace atlc::intersect

@@ -10,9 +10,11 @@
 #include <span>
 #include <vector>
 
+#include "atlc/core/engine_config.hpp"
 #include "atlc/graph/clean.hpp"
 #include "atlc/graph/csr.hpp"
 #include "atlc/graph/degree_stats.hpp"
+#include "atlc/graph/dodg.hpp"
 #include "atlc/graph/edge_list.hpp"
 #include "atlc/graph/generators.hpp"
 #include "atlc/graph/hub_replica.hpp"
@@ -802,6 +804,103 @@ TEST(DegreeStats, VerticesByDegreeDescSorted) {
   const auto order = vertices_by_degree_desc(g);
   for (std::size_t i = 1; i < order.size(); ++i)
     EXPECT_GE(g.degree(order[i - 1]), g.degree(order[i]));
+}
+
+// ----------------------------------------------------------------- DODG ---
+
+/// Star hub 0 with leaves 1..8 plus the triangle {1,2,3}: the hub has the
+/// highest degree, so every one of its edges orients toward it and its
+/// DODG out-degree is zero (a sink row the engine must stream past).
+CSRGraph sink_fixture() {
+  EdgeList e(9, {}, Directedness::Undirected);
+  for (VertexId v = 1; v < 9; ++v) e.add_edge(0, v);
+  e.add_edge(1, 2);
+  e.add_edge(2, 3);
+  e.add_edge(1, 3);
+  e.symmetrize();
+  return CSRGraph::from_edges(e);
+}
+
+TEST(Dodg, PrecedesOrdersByDegreeThenId) {
+  EXPECT_TRUE(dodg_precedes(2, 5, 3, 1));   // lower degree wins
+  EXPECT_FALSE(dodg_precedes(3, 1, 2, 5));
+  EXPECT_TRUE(dodg_precedes(3, 1, 3, 2));   // tie broken by id
+  EXPECT_FALSE(dodg_precedes(3, 2, 3, 1));
+  EXPECT_FALSE(dodg_precedes(3, 1, 3, 1));  // irreflexive
+}
+
+TEST(Dodg, OrientationHalvesEdgesAndKeepsRowsSorted) {
+  for (const CSRGraph& g :
+       {CSRGraph::from_edges(paper_example()), testsupport::rmat_graph(8, 8, 17),
+        sink_fixture()}) {
+    const CSRGraph d = orient_dodg(g);
+    EXPECT_EQ(d.directedness(), Directedness::Directed);
+    EXPECT_EQ(d.num_vertices(), g.num_vertices());
+    EXPECT_EQ(d.num_edges(), g.num_edges() / 2);  // one arc per edge
+    EXPECT_TRUE(d.adjacency_sorted_unique());
+  }
+}
+
+TEST(Dodg, OrientationIsAcyclic) {
+  // Every arc strictly ascends the total (degree, id) order of the source
+  // graph, so no directed cycle can exist.
+  for (const CSRGraph& g :
+       {CSRGraph::from_edges(paper_example()), testsupport::rmat_graph(8, 8, 18),
+        sink_fixture()}) {
+    const CSRGraph d = orient_dodg(g);
+    for (VertexId u = 0; u < d.num_vertices(); ++u)
+      for (const VertexId v : d.neighbors(u))
+        ASSERT_TRUE(dodg_precedes(g.degree(u), u, g.degree(v), v))
+            << "arc " << u << "->" << v;
+  }
+}
+
+TEST(Dodg, OutDegreesBoundedBySqrtM) {
+  // outdeg(v) <= min(deg(v), 2m/deg(v)) <= sqrt(2m); with m counted in
+  // stored arcs (both directions) the bound reads sqrt(num_edges()).
+  const CSRGraph g = testsupport::rmat_graph(10, 16, 19);
+  const CSRGraph d = orient_dodg(g);
+  const auto bound = static_cast<VertexId>(
+      std::ceil(std::sqrt(static_cast<double>(g.num_edges()))));
+  EXPECT_LE(degree_stats(d).max, bound);
+  // The bound actually bites on a skewed graph: the undirected hub rows
+  // are far above it.
+  EXPECT_GT(degree_stats(g).max, bound);
+}
+
+TEST(Dodg, SinkFixtureHubHasZeroOutDegree) {
+  const CSRGraph g = sink_fixture();
+  const CSRGraph d = orient_dodg(g);
+  EXPECT_EQ(d.degree(0), 0u);
+  // {1,2,3} plus the three triangles each triangle edge closes via the hub.
+  EXPECT_EQ(reference_lcc(g).global_triangles, 4u);
+}
+
+TEST(Dodg, TcMatchesUndirectedReferenceAcrossRanks) {
+  const CSRGraph fixtures[] = {CSRGraph::from_edges(paper_example()),
+                               testsupport::rmat_graph(7, 8, 20),
+                               sink_fixture()};
+  for (const CSRGraph& g : fixtures) {
+    const auto expected = reference_lcc(g).global_triangles;
+    for (const std::uint32_t ranks : {1u, 2u, 4u, 8u}) {
+      core::EngineConfig dodg_cfg;
+      dodg_cfg.orient_dodg = true;
+      EXPECT_EQ(core::run_distributed_tc(g, ranks, dodg_cfg), expected)
+          << "ranks " << ranks;
+      // The tiered kernels must agree on the same oriented stream.
+      core::EngineConfig tiered_cfg = dodg_cfg;
+      tiered_cfg.intersect_tier = intersect::Tier::Tiered;
+      EXPECT_EQ(core::run_distributed_tc(g, ranks, tiered_cfg), expected)
+          << "ranks " << ranks << " (tiered)";
+    }
+  }
+}
+
+TEST(Dodg, RequiresUndirectedInput) {
+  testsupport::use_threadsafe_death_tests();
+  EdgeList e(3, {{0, 1}, {1, 2}}, Directedness::Directed);
+  const CSRGraph g = CSRGraph::from_edges(e);
+  EXPECT_DEATH((void)orient_dodg(g), "undirected");
 }
 
 }  // namespace

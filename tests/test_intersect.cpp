@@ -115,6 +115,39 @@ TEST(SuffixAbove, FloorAboveAll) {
   EXPECT_TRUE(suffix_above(a, 9).empty());
 }
 
+TEST(SuffixAbove, FloorEqualToFirstElement) {
+  // `suffix_above` is strict: the floor element itself is excluded.
+  const V a{4, 5, 9};
+  const auto s = suffix_above(a, 4);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], 5u);
+}
+
+TEST(SuffixAbove, FloorEqualToLastElement) {
+  const V a{4, 5, 9};
+  EXPECT_TRUE(suffix_above(a, 9).empty());
+}
+
+TEST(SuffixAbove, FloorStrictlyAboveEntireRange) {
+  const V a{4, 5, 9};
+  EXPECT_TRUE(suffix_above(a, 100).empty());
+  EXPECT_TRUE(suffix_above(V{}, 0).empty());
+}
+
+TEST(CountCommonAbove, FloorEqualToBoundaryCommonElements) {
+  const V a{2, 5, 8, 12}, b{2, 5, 9, 12};  // common: 2, 5, 12
+  for (auto m : {Method::Binary, Method::SSI, Method::Hybrid}) {
+    EXPECT_EQ(count_common_above(a, b, 2, m), 2u) << method_name(m);
+    EXPECT_EQ(count_common_above(a, b, 12, m), 0u) << method_name(m);
+  }
+}
+
+TEST(CountCommonAbove, FloorAboveEntireRange) {
+  const V a{2, 5, 8, 12}, b{2, 5, 9, 12};
+  for (auto m : {Method::Binary, Method::SSI, Method::Hybrid})
+    EXPECT_EQ(count_common_above(a, b, 1000, m), 0u) << method_name(m);
+}
+
 TEST(CountCommonAbove, MatchesManualFilter) {
   const V a{1, 2, 5, 8, 12}, b{2, 5, 9, 12};
   // Common elements: 2, 5, 12. Above floor 4: 5 and 12.
