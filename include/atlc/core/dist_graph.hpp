@@ -15,11 +15,18 @@ using graph::EdgeIndex;
 using graph::Partition;
 using graph::VertexId;
 
-/// Per-rank view of the 1D-distributed graph (paper Section III-A, Fig. 3):
+/// Per-rank view of the distributed graph (paper Section III-A, Fig. 3):
 /// the rank's CSR partition plus the two RMA windows every rank exposes —
 /// `w_offsets` over its offsets array and `w_adj` over its adjacencies
 /// array. Reading a remote adjacency list takes two gets: offsets[lv, lv+2)
 /// from the owner's w_offsets, then adjacencies[start, end) from its w_adj.
+///
+/// Under PartitionKind::Grid2D the local CSR is the rank's *segment store*:
+/// row slot lv holds only the slice of vertex global_id(rank, lv)'s
+/// adjacency row whose neighbor ids fall in the rank's column block, and
+/// the two-get protocol against segment_owner(v, b) naturally returns the
+/// b-th segment — the owner's offsets delimit exactly its stored slice.
+/// For 1D kinds col_blocks() == 1 and the "segment" is the whole row.
 struct DistGraph {
   Partition partition;
   Directedness directedness = Directedness::Undirected;

@@ -39,6 +39,19 @@ concept EdgeKernel =
     std::invocable<K&, VertexId, VertexId, std::span<const VertexId>,
                    std::span<const VertexId>>;
 
+/// A segment kernel (2D partitions): invoked once per (local edge, column
+/// block) as kernel(lv, j, block, seg_v, seg_j), where `seg_v` / `seg_j`
+/// are the column-block-`block` restrictions of adj(v) / adj(j). Summing a
+/// pair intersection over all blocks reproduces the whole-row count:
+/// |adj(v) ∩ adj(j)| = Σ_b |seg(v,b) ∩ seg(j,b)|, because the blocks
+/// partition the neighbor id range. BOTH spans may alias fetch-ring slots
+/// (v's segments for other column blocks live on sibling ranks), so
+/// neither is valid beyond the call.
+template <typename K>
+concept SegmentKernel =
+    std::invocable<K&, VertexId, VertexId, std::uint32_t,
+                   std::span<const VertexId>, std::span<const VertexId>>;
+
 /// Per-rank counters harvested from a pipeline after run().
 struct PipelineRankStats {
   std::uint64_t edges_processed = 0;
@@ -62,6 +75,11 @@ struct EdgeAnalyticStats {
   rma::Runtime::Result run;  ///< per-rank comm stats + virtual clocks
   clampi::CacheStats offsets_cache_total;
   clampi::CacheStats adj_cache_total;
+  /// Per-rank cache counters, in rank order (the *_total fields above are
+  /// their field-wise sums — tests audit this invariant so a counter added
+  /// to CacheStats cannot silently drop out of the aggregation).
+  std::vector<clampi::CacheStats> offsets_cache_ranks;
+  std::vector<clampi::CacheStats> adj_cache_ranks;
   std::uint64_t edges_processed = 0;
   std::uint64_t remote_edges = 0;  ///< edges whose neighbor list was remote
   std::vector<double> busy_clocks;  ///< per-rank pre-barrier virtual clocks
@@ -70,6 +88,10 @@ struct EdgeAnalyticStats {
 
   /// Fraction of processed edges requiring a remote adjacency fetch
   /// (paper Section IV-D2: 66% -> 98% for R-MAT S21 EF16, p=4 -> 64).
+  /// Under Grid2D, remote_edges counts remote *segment* fetches (up to 2
+  /// per (edge, block) item) while edges_processed still counts each local
+  /// edge once, so the "fraction" can exceed 1 — it is then the average
+  /// number of remote segment fetches per edge.
   [[nodiscard]] double remote_edge_fraction() const {
     return edges_processed
                ? static_cast<double>(remote_edges) /
@@ -101,6 +123,7 @@ class EdgePipeline {
                const EngineConfig& config)
       : dg_(&dg),
         config_(&config),
+        rank_(ctx.rank()),
         depth_(config.effective_pipeline_depth()),
         fetcher_(ctx, dg, config) {}
 
@@ -135,6 +158,66 @@ class EdgePipeline {
         static_cast<EdgeIndex>(edges.size()),
         [edges](EdgeIndex i) { return edges[i].second; },
         [edges](EdgeIndex i) { return edges[i].first; }, kernel);
+  }
+
+  /// Drive a SegmentKernel over every (local edge, column block) item with
+  /// the same depth-k prefetch ring as run(). The rank's local CSR is its
+  /// segment store (each row slot holds only the rank's column-block slice),
+  /// so the item space is the local segment-edge stream × col_blocks():
+  /// item t = (edge t / B, block t % B). Each item issues up to TWO segment
+  /// fetches — seg(v, b) lives on a sibling rank of this grid row unless
+  /// b is this rank's own column block — which is why the fetcher doubles
+  /// its ring under 2D partitions (2·depth live tokens at lookahead).
+  /// edges_processed still counts each local edge once (at its block-0
+  /// item); remote segment fetches land in remote_edges via the fetcher.
+  template <SegmentKernel K>
+  void run_segments(K&& kernel) {
+    const auto& part = dg_->partition;
+    const auto nb = static_cast<std::uint64_t>(part.col_blocks());
+    const auto m = static_cast<std::uint64_t>(dg_->adjacencies.size());
+    const std::uint64_t total = m * nb;
+
+    // ei -> owning local vertex, precomputed: the prefetch lookahead
+    // random-accesses the stream, so the O(m + n) incremental walk run()
+    // uses cannot serve it.
+    std::vector<VertexId> lv_of(m);
+    {
+      VertexId lv = 0;
+      for (std::uint64_t ei = 0; ei < m; ++ei) {
+        while (dg_->offsets[lv + 1] <= ei) ++lv;
+        lv_of[ei] = static_cast<VertexId>(lv);
+      }
+    }
+
+    struct SegPair {
+      AdjacencyFetcher::Token v, j;
+    };
+    auto issue = [&](std::uint64_t t) {
+      const auto ei = static_cast<std::size_t>(t / nb);
+      const auto b = static_cast<std::uint32_t>(t % nb);
+      const VertexId v = part.global_id(rank_, lv_of[ei]);
+      SegPair p;
+      p.v = fetcher_.begin(v, b);
+      p.j = fetcher_.begin(dg_->adjacencies[ei], b);
+      return p;
+    };
+
+    const auto lookahead = static_cast<std::uint64_t>(depth_) - 1;
+    std::vector<SegPair> ring(std::max<std::uint64_t>(lookahead, 1));
+    for (std::uint64_t p = 0; p < std::min(lookahead, total); ++p)
+      ring[p % lookahead] = issue(p);
+
+    for (std::uint64_t t = 0; t < total; ++t) {
+      const auto ei = static_cast<std::size_t>(t / nb);
+      const auto b = static_cast<std::uint32_t>(t % nb);
+      const SegPair cur = lookahead > 0 ? ring[t % lookahead] : issue(t);
+      const std::span<const VertexId> seg_v = fetcher_.finish(cur.v);
+      const std::span<const VertexId> seg_j = fetcher_.finish(cur.j);
+      if (lookahead > 0 && t + lookahead < total)
+        ring[t % lookahead] = issue(t + lookahead);
+      kernel(lv_of[ei], dg_->adjacencies[ei], b, seg_v, seg_j);
+      if (b == 0) ++edges_run_;
+    }
   }
 
   /// Snapshot this rank's pipeline counters (callable any time; counters
@@ -174,6 +257,7 @@ class EdgePipeline {
 
   const DistGraph* dg_;
   const EngineConfig* config_;
+  std::uint32_t rank_;  ///< this rank's id (global_id needs it)
   std::size_t depth_;
   std::uint64_t edges_run_ = 0;  ///< kernel invocations across run() calls
   AdjacencyFetcher fetcher_;

@@ -35,8 +35,9 @@ namespace atlc::core {
 /// ## Buffer-ring lifetime contract
 ///
 /// Remote fetches land in a ring of `EngineConfig::effective_pipeline_depth`
-/// buffers, so at most `depth` fetches may be live — in flight or with
-/// their finish()ed span still being read — at once. The span returned by
+/// buffers (doubled under a 2D partition, where each pipeline item issues
+/// up to two segment fetches), so at most `ring_size()` fetches may be live
+/// — in flight or with their finish()ed span still being read — at once. The span returned by
 /// finish(t) aliases t's ring slot and stays valid **until the slot is
 /// reused**, i.e. for the next `depth - 1` begin()s of remote non-empty
 /// adjacencies; after that the span reads the next fetch's data. Each slot
@@ -65,10 +66,23 @@ class AdjacencyFetcher {
     rma::GetHandle handle{};
   };
 
-  /// Start fetching adj(v). Local vertices resolve immediately. Claims the
-  /// least-recently-used ring slot for remote vertices, invalidating the
-  /// span of the fetch issued ring_size() remote begins ago.
+  /// Start fetching adj(v) (the whole row). Local vertices resolve
+  /// immediately. Claims the least-recently-used ring slot for remote
+  /// vertices, invalidating the span of the fetch issued ring_size() remote
+  /// begins ago. Whole-row fetches only exist on 1D partitions
+  /// (col_blocks() == 1); debug builds abort otherwise.
   [[nodiscard]] Token begin(VertexId v);
+
+  /// Start fetching the column-block-b segment of adj(v) — the slice of
+  /// v's adjacency row whose neighbor ids fall in
+  /// partition.col_block_range(b). The two-get protocol is unchanged: the
+  /// segment owner's local offsets delimit exactly its stored slice, so
+  /// "fetch the owner's row lv" *is* the segment fetch. CLaMPI entries are
+  /// keyed by (target rank, offset, count) and therefore already
+  /// segment-granular; distinct segments of one row never collide. On 1D
+  /// partitions b must be 0 and this is begin(v) — byte-identical
+  /// behaviour, so 1D virtual-time baselines are unaffected.
+  [[nodiscard]] Token begin(VertexId v, std::uint32_t col_block);
 
   /// Complete the fetch; see the class comment for the returned span's
   /// lifetime. Debug builds abort if t's slot was already recycled.

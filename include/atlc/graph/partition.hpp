@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "atlc/graph/types.hpp"
@@ -32,6 +33,19 @@ enum class PartitionKind : std::uint8_t {
   /// degree sequence the cuts coincide with Block1D exactly. DESIGN.md §8,
   /// docs/partitioning.md.
   DegreeBalanced1D,
+  /// ROADMAP item 2 (Tom & Karypis, "A 2D Parallel Triangle Counting
+  /// Algorithm"): ranks own *edge blocks* of a pr×pc grid over the vertex
+  /// range instead of whole adjacency rows. Rank (r, c) — linearised as
+  /// r*pc + c — stores, for every vertex in row block r, only the segment
+  /// of its adjacency row whose neighbor ids fall in column block c. Both
+  /// axes are cut with the Block1D closed form (front-loaded remainder).
+  /// pr is the largest divisor of p with pr <= floor(sqrt(p)), pc = p/pr,
+  /// so p = 8 -> 2x4, p = 12 -> 3x4, and prime p degrades to 1xp. The
+  /// *home* rank of a vertex (owner()) is the diagonal-ish rank
+  /// (row_block(v), col_block(v)) — the unique rank used for per-vertex
+  /// bookkeeping; segment fetches resolve owners per (vertex, column
+  /// block) via segment_owner(). DESIGN.md §10, docs/partitioning.md.
+  Grid2D,
 };
 
 /// Maps global vertex ids to (rank, local index) and back. All methods are
@@ -50,6 +64,14 @@ class Partition {
                "degree_balanced() or graph::make_partition()");
     base_ = n_ / p_;
     extra_ = n_ % p_;  // first `extra_` ranks own base_+1 vertices
+    if (kind == PartitionKind::Grid2D) {
+      // Largest divisor of p not exceeding floor(sqrt(p)) keeps the grid as
+      // square as p allows while using every rank (prime p -> 1 x p).
+      grid_rows_ = 1;
+      for (std::uint32_t d = 1; d * d <= p_; ++d)
+        if (p_ % d == 0) grid_rows_ = d;
+      grid_cols_ = p_ / grid_rows_;
+    }
   }
 
   /// DegreeBalanced1D factory: cut [0, n) into `ranks` contiguous ranges by
@@ -70,7 +92,66 @@ class Partition {
   [[nodiscard]] VertexId num_vertices() const { return n_; }
   [[nodiscard]] std::uint32_t num_ranks() const { return p_; }
 
-  /// Owning rank of a global vertex.
+  /// Grid shape (1x1 for every 1D kind, pr x pc for Grid2D).
+  [[nodiscard]] std::uint32_t grid_rows() const { return grid_rows_; }
+  [[nodiscard]] std::uint32_t grid_cols() const { return grid_cols_; }
+  /// Grid coordinates of a linearised rank id (rank = row * pc + col).
+  [[nodiscard]] std::uint32_t grid_row(std::uint32_t rank) const {
+    return rank / grid_cols_;
+  }
+  [[nodiscard]] std::uint32_t grid_col(std::uint32_t rank) const {
+    return rank % grid_cols_;
+  }
+
+  /// Number of column blocks each adjacency row is split into. 1 for every
+  /// 1D kind — the seam callers use to treat a whole row as the single
+  /// segment and keep the 1D fast paths bit-identical.
+  [[nodiscard]] std::uint32_t col_blocks() const {
+    return kind_ == PartitionKind::Grid2D ? grid_cols_ : 1;
+  }
+
+  /// Column block containing global vertex id v (always 0 for 1D kinds).
+  [[nodiscard]] std::uint32_t col_block_of(VertexId v) const {
+    ATLC_DCHECK(v < n_, "vertex out of range");
+    if (kind_ != PartitionKind::Grid2D) return 0;
+    return axis_block(n_, grid_cols_, v);
+  }
+
+  /// Half-open global-id range [first, last) of column block b. For 1D
+  /// kinds block 0 covers the whole vertex range.
+  [[nodiscard]] std::pair<VertexId, VertexId> col_block_range(
+      std::uint32_t b) const {
+    if (kind_ != PartitionKind::Grid2D) {
+      ATLC_DCHECK(b == 0, "1D partitions have a single column block");
+      return {0, n_};
+    }
+    ATLC_DCHECK(b < grid_cols_, "column block out of range");
+    return {axis_begin(n_, grid_cols_, b), axis_begin(n_, grid_cols_, b + 1)};
+  }
+
+  /// Rank storing the column-block-b segment of v's adjacency row. For 1D
+  /// kinds (b == 0) this is owner(v): whole rows live on the vertex owner.
+  [[nodiscard]] std::uint32_t segment_owner(VertexId v,
+                                            std::uint32_t b) const {
+    if (kind_ != PartitionKind::Grid2D) {
+      ATLC_DCHECK(b == 0, "1D partitions have a single column block");
+      return owner(v);
+    }
+    ATLC_DCHECK(v < n_ && b < grid_cols_, "segment out of range");
+    return axis_block(n_, grid_rows_, v) * grid_cols_ + b;
+  }
+
+  /// Rank storing the segment of u's row that would contain neighbor v,
+  /// i.e. the owner of edge slot (u, v) under the 2D grid. Degrades to
+  /// owner(u) for 1D kinds.
+  [[nodiscard]] std::uint32_t edge_owner(VertexId u, VertexId v) const {
+    return segment_owner(u, col_block_of(v));
+  }
+
+  /// Owning rank of a global vertex. Under Grid2D this is the vertex's
+  /// *home* rank (row_block(v), col_block(v)) — the unique rank charged
+  /// with per-vertex bookkeeping (adjudication, hub skip pricing); note
+  /// the home rank's stored segment is just one slice of v's row.
   [[nodiscard]] std::uint32_t owner(VertexId v) const {
     ATLC_DCHECK(v < n_, "vertex out of range");
     if (kind_ == PartitionKind::Cyclic1D) return v % p_;
@@ -80,27 +161,39 @@ class Partition {
       const auto it = std::upper_bound(cuts_.begin() + 1, cuts_.end(), v);
       return static_cast<std::uint32_t>(it - (cuts_.begin() + 1));
     }
+    if (kind_ == PartitionKind::Grid2D)
+      return axis_block(n_, grid_rows_, v) * grid_cols_ +
+             axis_block(n_, grid_cols_, v);
     // Block: the first `extra_` ranks own (base_+1) vertices each.
     const VertexId cutoff = (base_ + 1) * extra_;
     if (v < cutoff) return v / (base_ + 1);
     return extra_ + (v - cutoff) / base_;
   }
 
-  /// Number of vertices owned by `rank`. For both closed-form kinds the
+  /// Number of local row slots on `rank`. For both 1D closed-form kinds the
   /// counts coincide: the first n%p ranks own one extra vertex (Block1D
-  /// front-loads them as blocks, Cyclic1D interleaves them).
+  /// front-loads them as blocks, Cyclic1D interleaves them). Under Grid2D
+  /// every rank of grid row r holds a (segment) slot for each vertex of row
+  /// block r, so the pc ranks of a grid row report the same size.
   [[nodiscard]] VertexId part_size(std::uint32_t rank) const {
     ATLC_DCHECK(rank < p_, "rank out of range");
     if (kind_ == PartitionKind::DegreeBalanced1D)
       return cuts_[rank + 1] - cuts_[rank];
+    if (kind_ == PartitionKind::Grid2D) {
+      const std::uint32_t r = grid_row(rank);
+      return axis_begin(n_, grid_rows_, r + 1) - axis_begin(n_, grid_rows_, r);
+    }
     return base_ + (rank < extra_ ? 1 : 0);
   }
 
-  /// First global vertex owned by `rank` (contiguous kinds only).
+  /// First global vertex owned by `rank` (contiguous kinds only; under
+  /// Grid2D: first vertex of the rank's row block).
   [[nodiscard]] VertexId block_begin(std::uint32_t rank) const {
     ATLC_DCHECK(kind_ != PartitionKind::Cyclic1D,
                 "block_begin: contiguous kinds only");
     if (kind_ == PartitionKind::DegreeBalanced1D) return cuts_[rank];
+    if (kind_ == PartitionKind::Grid2D)
+      return axis_begin(n_, grid_rows_, grid_row(rank));
     return rank < extra_ ? (base_ + 1) * rank
                          : (base_ + 1) * extra_ + base_ * (rank - extra_);
   }
@@ -118,11 +211,33 @@ class Partition {
   }
 
  private:
+  /// Closed-form Block1D arithmetic over one grid axis: split [0, n) into
+  /// `parts` contiguous ranges, the first n % parts ranges one longer
+  /// (exactly the Block1D remainder rule, reused for both grid axes).
+  [[nodiscard]] static VertexId axis_begin(VertexId n, std::uint32_t parts,
+                                           std::uint32_t r) {
+    const VertexId base = n / parts;
+    const VertexId extra = n % parts;
+    return r < extra ? (base + 1) * r : (base + 1) * extra + base * (r - extra);
+  }
+  [[nodiscard]] static std::uint32_t axis_block(VertexId n,
+                                                std::uint32_t parts,
+                                                VertexId v) {
+    const VertexId base = n / parts;
+    const VertexId extra = n % parts;
+    const VertexId cutoff = (base + 1) * extra;
+    // base == 0 (n < parts) falls into the first branch: every v < cutoff.
+    if (v < cutoff) return static_cast<std::uint32_t>(v / (base + 1));
+    return static_cast<std::uint32_t>(extra + (v - cutoff) / base);
+  }
+
   PartitionKind kind_;
   VertexId n_;
   std::uint32_t p_;
   VertexId base_;
   VertexId extra_;
+  std::uint32_t grid_rows_ = 1;  ///< pr (Grid2D; 1 for 1D kinds)
+  std::uint32_t grid_cols_ = 1;  ///< pc (Grid2D; 1 for 1D kinds)
   std::vector<VertexId> cuts_;  ///< p+1 range boundaries (DegreeBalanced1D)
 };
 
@@ -133,8 +248,8 @@ class Partition {
 [[nodiscard]] Partition make_partition(const CSRGraph& g, PartitionKind kind,
                                        std::uint32_t ranks);
 
-/// Human-readable kind name ("block1d" / "cyclic1d" / "degree1d"), the
-/// spelling the CLI and the bench JSON use.
+/// Human-readable kind name ("block1d" / "cyclic1d" / "degree1d" /
+/// "grid2d"), the spelling the CLI and the bench JSON use.
 [[nodiscard]] const char* partition_kind_name(PartitionKind kind);
 
 }  // namespace atlc::graph

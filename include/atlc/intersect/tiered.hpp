@@ -109,6 +109,17 @@ class TieredIntersector {
   [[nodiscard]] Outcome intersect(std::span<const VertexId> row,
                                   std::span<const VertexId> other);
 
+  /// |a ∩ b| when NEITHER side is stable — both may alias fetch-ring slots
+  /// (the 2D segment engine, where even "this rank's" row segments arrive
+  /// through the ring from sibling ranks). Span identity is meaningless for
+  /// recycled slots — the same pointer holds different contents a few
+  /// fetches later — so the bitmap tier (whose amortisation *is* that
+  /// span-identity reuse) is never selected; skewed pairs gallop, the rest
+  /// merge. Never touches the per-row bitmap state, so transient and
+  /// row-reuse calls can interleave safely.
+  [[nodiscard]] Outcome intersect_transient(std::span<const VertexId> a,
+                                            std::span<const VertexId> b);
+
   /// Dispatch counters for bench reporting.
   struct Stats {
     std::uint64_t bitmap_builds = 0;

@@ -20,6 +20,10 @@ struct CommStats {
   /// rank's hub replica instead (zero RMA; DESIGN.md §8). Not counted in
   /// remote_gets or local_gets — a hub hit issues no window get at all.
   std::uint64_t hub_local_hits = 0;
+  /// Remote row-*segment* fetches issued under a 2D partition (a subset of
+  /// the two-get protocols counted above; always 0 on 1D partitions, where
+  /// the unit of fetch is the whole row). DESIGN.md §10.
+  std::uint64_t segment_gets = 0;
 
   /// Virtual seconds this rank spent blocked on communication (waiting for
   /// get completion, synchronising collectives, two-sided exchanges).
@@ -37,6 +41,7 @@ struct CommStats {
     messages_sent += o.messages_sent;
     bytes_sent += o.bytes_sent;
     hub_local_hits += o.hub_local_hits;
+    segment_gets += o.segment_gets;
     comm_seconds += o.comm_seconds;
     compute_seconds += o.compute_seconds;
     return *this;

@@ -51,6 +51,8 @@ void EdgeAnalyticStats::absorb(PipelineRankStats&& rank) {
   busy_clocks.push_back(rank.busy_seconds);
   offsets_cache_total += rank.offsets_cache;
   adj_cache_total += rank.adj_cache;
+  offsets_cache_ranks.push_back(rank.offsets_cache);
+  adj_cache_ranks.push_back(rank.adj_cache);
   if (!rank.remote_reads.empty()) {
     if (remote_reads.size() < rank.remote_reads.size())
       remote_reads.resize(rank.remote_reads.size(), 0);

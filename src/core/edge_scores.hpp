@@ -28,6 +28,10 @@ template <typename Setup, typename ScoreEdge>
     std::vector<double>& scores, Setup&& setup, ScoreEdge&& score_edge) {
   ATLC_CHECK(!config.upper_triangle_only,
              "per-edge scores need full intersections per edge");
+  ATLC_CHECK(partition_kind != graph::PartitionKind::Grid2D,
+             "per-edge score analytics are 1D-only: their kernels need the "
+             "whole adjacency row per edge (denominators use full degrees), "
+             "not the per-block segments Grid2D streams");
   scores.assign(g.num_edges(), 0.0);
 
   return run_edge_analytic(

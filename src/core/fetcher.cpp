@@ -1,5 +1,7 @@
 #include "atlc/core/fetcher.hpp"
 
+#include <algorithm>
+
 #include "atlc/util/check.hpp"
 
 namespace atlc::core {
@@ -63,13 +65,25 @@ clampi::CacheConfig adj_cache_config(const EngineConfig& cfg,
 
 }  // namespace
 
+namespace {
+
+// One in-flight fetch per pipeline item on 1D partitions (the local side
+// is a plain span); two on 2D partitions, where both segment sides of an
+// (edge, block) item may be remote.
+std::size_t ring_slots(const EngineConfig& config, const DistGraph& dg) {
+  return config.effective_pipeline_depth() *
+         (dg.partition.col_blocks() > 1 ? 2 : 1);
+}
+
+}  // namespace
+
 AdjacencyFetcher::AdjacencyFetcher(rma::RankCtx& ctx, const DistGraph& dg,
                                    const EngineConfig& config)
     : ctx_(&ctx),
       dg_(&dg),
       config_(&config),
-      buffers_(config.effective_pipeline_depth()),
-      generations_(config.effective_pipeline_depth(), 0) {
+      buffers_(ring_slots(config, dg)),
+      generations_(ring_slots(config, dg), 0) {
   if (config.use_cache && config.cache_offsets)
     c_offsets_.emplace(ctx, dg.w_offsets, offsets_cache_config(config));
   if (config.use_cache && config.cache_adj)
@@ -79,8 +93,18 @@ AdjacencyFetcher::AdjacencyFetcher(rma::RankCtx& ctx, const DistGraph& dg,
 }
 
 AdjacencyFetcher::Token AdjacencyFetcher::begin(VertexId v) {
-  const auto owner = dg_->partition.owner(v);
-  const VertexId lv = dg_->partition.local_index(v);
+  ATLC_DCHECK(dg_->partition.col_blocks() == 1,
+              "whole-row begin(v) on a 2D partition: use "
+              "begin(v, col_block) (segments are the unit of fetch)");
+  return begin(v, 0);
+}
+
+AdjacencyFetcher::Token AdjacencyFetcher::begin(VertexId v,
+                                                std::uint32_t col_block) {
+  const auto& part = dg_->partition;
+  const bool segmented = part.col_blocks() > 1;
+  const auto owner = part.segment_owner(v, col_block);
+  const VertexId lv = part.local_index(v);
 
   Token t;
   if (owner == ctx_->rank()) {
@@ -92,12 +116,23 @@ AdjacencyFetcher::Token AdjacencyFetcher::begin(VertexId v) {
 
   // Hub fast path (DESIGN.md §8): replicated rows resolve like local ones —
   // no window get, no cache probe, no ring slot — and are tallied so
-  // benches can report the RMA traffic the replication removed.
+  // benches can report the RMA traffic the replication removed. The replica
+  // stores full rows; under a 2D partition the requested segment is served
+  // by slicing the (sorted) row to the column block's id range.
   if (!dg_->hubs.empty()) {
     if (const std::size_t slot = dg_->hubs.find(v);
         slot != graph::HubReplica::npos) {
       t.local = true;
-      t.local_span = dg_->hubs.neighbors_at(slot);
+      auto row = dg_->hubs.neighbors_at(slot);
+      if (segmented) {
+        const auto [lo, hi] = part.col_block_range(col_block);
+        const auto* seg_lo = std::lower_bound(row.data(),
+                                              row.data() + row.size(), lo);
+        const auto* seg_hi =
+            std::lower_bound(seg_lo, row.data() + row.size(), hi);
+        row = {seg_lo, seg_hi};
+      }
+      t.local_span = row;
       t.degree = static_cast<VertexId>(t.local_span.size());
       ++ctx_->stats().hub_local_hits;
       return t;
@@ -105,6 +140,7 @@ AdjacencyFetcher::Token AdjacencyFetcher::begin(VertexId v) {
   }
 
   ++remote_fetches_;
+  if (segmented) ++ctx_->stats().segment_gets;
   if (!remote_reads_.empty()) ++remote_reads_[v];
 
   // Step 1 (synchronous): (start, end) of the adjacency list. "The first

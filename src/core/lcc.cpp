@@ -50,11 +50,52 @@ auto lcc_kernel(rma::RankCtx& ctx, const EngineConfig& config,
   };
 }
 
+/// The segment-kernel twin of lcc_kernel for Grid2D runs: one invocation
+/// per (local edge, column block), accumulating the block-partial
+/// |seg(v,b) ∩ seg(j,b)| into t(v). Summed over blocks this reproduces the
+/// whole-row count exactly (the blocks partition the neighbor id range, and
+/// suffix_above distributes over that partition). Both spans may be
+/// ring-slot-backed, so the tiered path must use intersect_transient —
+/// span-identity bitmap reuse would serve a stale bitmap once a slot is
+/// recycled.
+auto lcc_segment_kernel(rma::RankCtx& ctx, const EngineConfig& config,
+                        std::vector<std::uint64_t>& triangles,
+                        intersect::TieredIntersector* tiered) {
+  return [&ctx, &config, &triangles, tiered](
+             VertexId lv, VertexId j, std::uint32_t /*block*/,
+             std::span<const VertexId> seg_v, std::span<const VertexId> seg_j) {
+    auto lhs = seg_v;
+    auto rhs = seg_j;
+    if (config.upper_triangle_only) {
+      lhs = intersect::suffix_above(lhs, j);
+      rhs = intersect::suffix_above(rhs, j);
+    }
+    std::uint64_t common;
+    if (tiered != nullptr) {
+      const auto out = tiered->intersect_transient(lhs, rhs);
+      common = out.common;
+      ctx.charge_compute(out.seconds);
+    } else {
+      common = config.parallel_intersect
+                   ? intersect::count_common_parallel(lhs, rhs, config.method,
+                                                      config.parallel)
+                   : intersect::count_common(lhs, rhs, config.method);
+      ctx.charge_compute(config.cost.seconds(config.method, lhs.size(),
+                                             rhs.size()));
+    }
+    triangles[lv] += common;
+  };
+}
+
 }  // namespace
 
 RankResult compute_lcc_rank(rma::RankCtx& ctx, const DistGraph& dg,
                             const EngineConfig& config,
                             EdgePipeline& pipeline) {
+  ATLC_CHECK(dg.partition.col_blocks() == 1,
+             "compute_lcc_rank is the whole-row (1D) path; Grid2D runs go "
+             "through run_distributed_lcc/tc, which reduce block partials "
+             "across the grid row");
   const VertexId n_local = dg.num_local();
 
   RankResult r;
@@ -97,9 +138,27 @@ RunResult run_engine(const CSRGraph& g, std::uint32_t ranks,
   out.triangles.assign(g.num_vertices(), 0);
   out.lcc.assign(g.num_vertices(), 0.0);
 
+  // Under Grid2D the pc ranks of a grid row produce block partials for the
+  // SAME vertices, so they cannot scatter straight into the shared output
+  // the way disjoint 1D owners do. Each rank accumulates into its own
+  // partial vector; the driver reduces them after the SPMD region.
+  const bool grid = partition_kind == graph::PartitionKind::Grid2D;
+  std::vector<std::vector<std::uint64_t>> grid_partials(grid ? ranks : 0);
+
   static_cast<EdgeAnalyticStats&>(out) = run_edge_analytic(
       g, ranks, config, net, partition_kind,
       [&](rma::RankCtx& ctx, const DistGraph& dg, EdgePipeline& pipeline) {
+        if (grid) {
+          auto& tri = grid_partials[ctx.rank()];
+          tri.assign(dg.num_local(), 0);
+          std::optional<intersect::TieredIntersector> tiered;
+          if (config.intersect_tier == intersect::Tier::Tiered)
+            tiered.emplace(config.tier_policy, config.cost,
+                           dg.partition.num_vertices());
+          pipeline.run_segments(lcc_segment_kernel(
+              ctx, config, tri, tiered ? &*tiered : nullptr));
+          return;
+        }
         const RankResult rr = compute_lcc_rank(ctx, dg, config, pipeline);
         // Scatter per-vertex results into the global arrays. Ranks own
         // disjoint vertex sets, so no synchronisation is needed.
@@ -109,6 +168,20 @@ RunResult run_engine(const CSRGraph& g, std::uint32_t ranks,
           out.lcc[v] = rr.lcc[lv];
         }
       });
+
+  if (grid) {
+    // Reduce block partials across each grid row: every rank of row r holds
+    // a partial t(v) for every vertex of row block r; their sum is the
+    // whole-row count. LCC denominators come from the global graph — the
+    // full degree, which no single segment store can see.
+    const Partition part = graph::make_partition(g, partition_kind, ranks);
+    for (std::uint32_t r = 0; r < ranks; ++r)
+      for (VertexId lv = 0; lv < static_cast<VertexId>(grid_partials[r].size());
+           ++lv)
+        out.triangles[part.global_id(r, lv)] += grid_partials[r][lv];
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      out.lcc[v] = graph::lcc_score(out.triangles[v], g.degree(v));
+  }
 
   std::uint64_t sum = 0;
   for (auto t : out.triangles) sum += t;

@@ -76,6 +76,8 @@ const char* partition_kind_name(PartitionKind kind) {
       return "cyclic1d";
     case PartitionKind::DegreeBalanced1D:
       return "degree1d";
+    case PartitionKind::Grid2D:
+      return "grid2d";
   }
   return "unknown";
 }

@@ -134,4 +134,27 @@ TieredIntersector::Outcome TieredIntersector::intersect(
   return out;
 }
 
+TieredIntersector::Outcome TieredIntersector::intersect_transient(
+    std::span<const VertexId> a, std::span<const VertexId> b) {
+  Outcome out;
+  out.kernel = select_tier_kernel(a.size(), b.size(), policy_);
+  if (out.kernel == TierKernel::Bitmap) {
+    // No stable row, no amortised build: gallop is the right kernel for
+    // the bitmap-shaped (highly skewed) pairs.
+    out.kernel = TierKernel::Gallop;
+  }
+  switch (out.kernel) {
+    case TierKernel::Gallop:
+      out.common = count_gallop(a, b);
+      ++stats_.gallop_pairs;
+      break;
+    default:
+      out.common = count_merge_vec(a, b);
+      ++stats_.merge_pairs;
+      break;
+  }
+  out.seconds += cost_.seconds_tiered(out.kernel, a.size(), b.size());
+  return out;
+}
+
 }  // namespace atlc::intersect

@@ -20,12 +20,15 @@ EffectiveBatch BatchApplier::adjudicate(const Batch& batch) {
   const std::uint32_t p = ctx_->num_ranks();
   const std::vector<CanonicalUpdate> ops = normalize(batch);
 
-  // Adjudicate the ops this rank owns (owner of the canonical first
-  // endpoint; its sorted row answers presence in one binary search).
+  // Adjudicate the ops this rank owns: the owner of edge slot (a, b) —
+  // under a 2D partition the rank storing the column-block segment of a's
+  // row that would contain b (its sorted segment answers presence in one
+  // binary search); on 1D partitions edge_owner degrades to owner(a), the
+  // original whole-row adjudicator.
   std::vector<CanonicalUpdate> mine;
   double probe_seconds = 0.0;
   for (const CanonicalUpdate& op : ops) {
-    if (part.owner(op.a) != ctx_->rank()) continue;
+    if (part.edge_owner(op.a, op.b) != ctx_->rank()) continue;
     const auto row = dg_->local_neighbors(part.local_index(op.a));
     const bool present = std::binary_search(row.begin(), row.end(), op.b);
     probe_seconds += config_->cost.seconds_probes(1, row.size());
@@ -75,10 +78,14 @@ std::uint64_t BatchApplier::apply_to_rows(const EffectiveBatch& eff) {
   const auto& part = dg_->partition;
 
   // Gather the per-local-row change lists (an undirected edge touches the
-  // rows of BOTH endpoints; either or both may be local).
+  // rows of BOTH endpoints; either or both may be local). Ownership is per
+  // edge SLOT, not per row: under a 2D partition only the rank storing the
+  // (row, neighbor-column-block) segment rebuilds it — the touched-row
+  // refresh is segment-granular, and sibling ranks of the grid row leave
+  // their other segments untouched. 1D degrades to the whole-row rule.
   std::map<VertexId, std::vector<std::pair<VertexId, Op>>> touched;
   auto note = [&](VertexId owner_v, VertexId nbr, Op op) {
-    if (part.owner(owner_v) != ctx_->rank()) return;
+    if (part.edge_owner(owner_v, nbr) != ctx_->rank()) return;
     touched[part.local_index(owner_v)].push_back({nbr, op});
   };
   for (const CanonicalUpdate& op : eff.ops) {

@@ -15,6 +15,10 @@ StreamResult run_streaming_lcc(const graph::CSRGraph& g,
   ATLC_CHECK(g.directedness() == graph::Directedness::Undirected,
              "stream: undirected graphs only (the incremental edge-centric "
              "formulation counts distinct triangles)");
+  ATLC_CHECK(options.partition != graph::PartitionKind::Grid2D,
+             "stream: the incremental counter routes per-vertex deltas to "
+             "unique vertex owners; Grid2D's segment ownership is not "
+             "plumbed through it yet (BatchApplier itself is segment-aware)");
   core::EngineConfig cfg = options.engine;
   cfg.upper_triangle_only = false;  // LCC needs full per-vertex counts
 

@@ -41,6 +41,7 @@ Json to_json(const rma::CommStats& s) {
   j["messages_sent"] = s.messages_sent;
   j["bytes_sent"] = s.bytes_sent;
   j["hub_local_hits"] = s.hub_local_hits;
+  j["segment_gets"] = s.segment_gets;
   j["comm_seconds"] = s.comm_seconds;
   j["compute_seconds"] = s.compute_seconds;
   return j;

@@ -638,6 +638,172 @@ TEST(Partition, KindNames) {
   EXPECT_STREQ(partition_kind_name(PartitionKind::Cyclic1D), "cyclic1d");
   EXPECT_STREQ(partition_kind_name(PartitionKind::DegreeBalanced1D),
                "degree1d");
+  EXPECT_STREQ(partition_kind_name(PartitionKind::Grid2D), "grid2d");
+}
+
+TEST(Partition, DegreeBalancedOwnerAtPrefixSumTies) {
+  // The O(log p) upper_bound lookup must resolve vertices sitting EXACTLY
+  // on a cut to the right-hand rank, including through runs of empty ranks
+  // (cuts_[r] == cuts_[r+1]) that a naive lower_bound would land inside.
+  {
+    // All-equal weights: every cut lands exactly on a prefix-sum tie.
+    const std::vector<std::uint64_t> w(8, 2);
+    const Partition part = Partition::degree_balanced(w, 4);
+    for (std::uint32_t r = 0; r < 4; ++r) {
+      EXPECT_EQ(part.owner(2 * r), r) << "first vertex of rank " << r;
+      EXPECT_EQ(part.owner(2 * r + 1), r) << "last vertex of rank " << r;
+    }
+  }
+  {
+    // A hub exceeding the total fair share empties the tail ranks; the
+    // boundary vertex after the hub must skip over none of its own rank
+    // and the last vertices must not land in the empty ranks.
+    const std::vector<std::uint64_t> w = {100, 1, 1};
+    const Partition part = Partition::degree_balanced(w, 4);
+    expect_partition_consistent(part);
+    EXPECT_EQ(part.owner(0), 0u);
+    EXPECT_EQ(part.owner(1), part.owner(1));  // resolves without aborting
+    for (std::uint32_t r = 0; r < 4; ++r)
+      for (VertexId l = 0; l < part.part_size(r); ++l)
+        EXPECT_EQ(part.owner(part.global_id(r, l)), r);
+  }
+  {
+    // Zero-weight run straddling a cut: the tie vertex belongs to the rank
+    // whose range STARTS there (upper_bound semantics).
+    const std::vector<std::uint64_t> w = {1, 0, 0, 1};
+    const Partition part = Partition::degree_balanced(w, 2);
+    expect_partition_consistent(part);
+    EXPECT_EQ(part.owner(0), 0u);
+    EXPECT_EQ(part.owner(3), 1u);
+  }
+}
+
+// ---------------------------------------------------------------- grid2d ---
+
+TEST(Grid2D, ShapeIsLargestDivisorBelowSqrt) {
+  const std::pair<std::uint32_t, std::pair<std::uint32_t, std::uint32_t>>
+      expected[] = {{1, {1, 1}}, {2, {1, 2}},  {4, {2, 2}},  {6, {2, 3}},
+                    {7, {1, 7}}, {8, {2, 4}},  {12, {3, 4}}, {16, {4, 4}},
+                    {18, {3, 6}}, {64, {8, 8}}};
+  for (const auto& [p, shape] : expected) {
+    const Partition part(PartitionKind::Grid2D, 100, p);
+    EXPECT_EQ(part.grid_rows(), shape.first) << "p=" << p;
+    EXPECT_EQ(part.grid_cols(), shape.second) << "p=" << p;
+    EXPECT_EQ(part.grid_rows() * part.grid_cols(), p);
+    EXPECT_EQ(part.col_blocks(), part.grid_cols());
+  }
+}
+
+/// Grid2D invariants (the 2D analogue of expect_partition_consistent, which
+/// cannot apply: every rank of a grid row reports the row block's size, so
+/// Σ part_size = pc * n by design).
+void expect_grid_consistent(const Partition& part) {
+  const VertexId n = part.num_vertices();
+  const std::uint32_t pr = part.grid_rows();
+  const std::uint32_t pc = part.grid_cols();
+  ASSERT_EQ(pr * pc, part.num_ranks());
+
+  // Column blocks tile [0, n) contiguously and col_block_of inverts them.
+  VertexId covered = 0;
+  for (std::uint32_t b = 0; b < part.col_blocks(); ++b) {
+    const auto [lo, hi] = part.col_block_range(b);
+    ASSERT_EQ(lo, covered);
+    ASSERT_LE(hi, n);
+    for (VertexId v = lo; v < hi; ++v)
+      ASSERT_EQ(part.col_block_of(v), b) << "vertex " << v;
+    covered = hi;
+  }
+  ASSERT_EQ(covered, n);
+
+  for (VertexId v = 0; v < n; ++v) {
+    // The home rank is the (row block, column block) diagonal cell, and the
+    // owner/local/global round trip holds through it.
+    const std::uint32_t home = part.owner(v);
+    ASSERT_EQ(part.grid_col(home), part.col_block_of(v));
+    ASSERT_EQ(part.global_id(home, part.local_index(v)), v);
+    // Every segment of v's row lives in v's grid row, one rank per column.
+    for (std::uint32_t b = 0; b < part.col_blocks(); ++b) {
+      const std::uint32_t so = part.segment_owner(v, b);
+      ASSERT_EQ(part.grid_row(so), part.grid_row(home));
+      ASSERT_EQ(part.grid_col(so), b);
+      // All ranks of the grid row agree on v's slot.
+      ASSERT_EQ(part.global_id(so, part.local_index(v)), v);
+    }
+  }
+
+  // Ranks of one grid row report identical sizes; rows tile [0, n).
+  VertexId row_total = 0;
+  for (std::uint32_t r = 0; r < pr; ++r) {
+    const VertexId sz = part.part_size(r * pc);
+    for (std::uint32_t c = 1; c < pc; ++c)
+      ASSERT_EQ(part.part_size(r * pc + c), sz);
+    ASSERT_EQ(part.block_begin(r * pc), row_total);
+    row_total += sz;
+  }
+  ASSERT_EQ(row_total, n);
+}
+
+TEST(Grid2D, PartitionConsistentAcrossShapes) {
+  for (const VertexId n : {1u, 6u, 7u, 64u, 100u, 1023u})
+    for (const std::uint32_t p : {1u, 2u, 4u, 6u, 7u, 8u, 12u, 16u}) {
+      SCOPED_TRACE(::testing::Message() << "n=" << n << " p=" << p);
+      expect_grid_consistent(Partition(PartitionKind::Grid2D, n, p));
+    }
+}
+
+TEST(Grid2D, EdgeOwnersTileTheAdjacencyMatrix) {
+  // Every (u, v) pair belongs to exactly one rank: the (row block of u,
+  // column block of v) grid cell — the edge-block ownership that lets each
+  // rank store only its segment of every local row.
+  const Partition part(PartitionKind::Grid2D, 20, 6);  // 2x3 grid
+  for (VertexId u = 0; u < 20; ++u)
+    for (VertexId v = 0; v < 20; ++v) {
+      const std::uint32_t r = part.edge_owner(u, v);
+      EXPECT_EQ(part.grid_row(r), part.grid_row(part.owner(u)));
+      EXPECT_EQ(part.grid_col(r), part.col_block_of(v));
+    }
+}
+
+// ------------------------------------------------ degenerate shapes (all) ---
+
+TEST(Partition, DegenerateShapesAllKinds) {
+  const auto check = [](const CSRGraph& g, std::uint32_t p) {
+    SCOPED_TRACE(::testing::Message()
+                 << "n=" << g.num_vertices() << " p=" << p);
+    for (const PartitionKind kind :
+         {PartitionKind::Block1D, PartitionKind::Cyclic1D,
+          PartitionKind::DegreeBalanced1D, PartitionKind::Grid2D}) {
+      SCOPED_TRACE(partition_kind_name(kind));
+      const Partition part = make_partition(g, kind, p);
+      EXPECT_EQ(part.kind(), kind);
+      EXPECT_EQ(part.num_vertices(), g.num_vertices());
+      if (kind == PartitionKind::Grid2D)
+        expect_grid_consistent(part);
+      else
+        expect_partition_consistent(part);
+    }
+  };
+
+  // Empty graph: no vertices at all; every rank must come out empty.
+  check(CSRGraph::from_edges(EdgeList(0, {}, Directedness::Undirected)), 4);
+  // Fewer vertices than ranks (and than grid columns).
+  check(CSRGraph::from_edges(EdgeList(3, {}, Directedness::Undirected)), 8);
+  // Rank counts that are not perfect squares (rectangular + prime grids).
+  {
+    auto e = generate_rmat({.scale = 6, .edge_factor = 4, .seed = 5});
+    clean(e);
+    const CSRGraph g = CSRGraph::from_edges(e);
+    for (const std::uint32_t p : {2u, 6u, 7u, 12u}) check(g, p);
+  }
+  // Single-vertex star: one hub owns every edge endpoint.
+  {
+    EdgeList e(9, {}, Directedness::Undirected);
+    for (VertexId leaf = 1; leaf < 9; ++leaf) e.add_edge(0, leaf);
+    e.symmetrize();
+    check(CSRGraph::from_edges(e), 4);
+  }
+  // Full clique: perfectly uniform degrees.
+  check(CSRGraph::from_edges(testsupport::complete_edges(8)), 4);
 }
 
 // ------------------------------------------------------------ hub replica ---

@@ -4,7 +4,10 @@
 // contract, and the similarity analytics built as kernels on the engine.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "atlc/core/edge_pipeline.hpp"
@@ -13,6 +16,7 @@
 #include "atlc/core/lcc.hpp"
 #include "atlc/core/similarity.hpp"
 #include "atlc/graph/reference.hpp"
+#include "atlc/util/recorder.hpp"
 #include "test_support.hpp"
 
 namespace atlc::core {
@@ -367,6 +371,104 @@ TEST(AnalyticStats, SimilarityReportsRemoteEdgeFraction) {
   const auto r = run_distributed_overlap(g, 4);
   EXPECT_GT(r.remote_edge_fraction(), 0.0);
   EXPECT_LE(r.remote_edge_fraction(), 1.0);
+}
+
+// ------------------------------- aggregation audit (ISSUE 7 satellite) ---
+
+/// Field-wise JSON sum of records (what the audit compares totals against:
+/// going through to_json means a counter missing from operator+= but
+/// present in the emitted record CANNOT cancel out).
+template <typename T>
+std::vector<std::pair<std::string, double>> summed_fields(
+    const std::vector<T>& per_rank) {
+  std::vector<std::pair<std::string, double>> sum;
+  for (const T& r : per_rank) {
+    const util::Json j = util::to_json(r);
+    for (const auto& [key, val] : j.items()) {
+      auto it = std::find_if(sum.begin(), sum.end(),
+                             [&](const auto& kv) { return kv.first == key; });
+      if (it == sum.end())
+        sum.emplace_back(key, val.as_number());
+      else
+        it->second += val.as_number();
+    }
+  }
+  return sum;
+}
+
+/// Assert the scenario-level totals equal the field-wise sums of the
+/// per-rank records, for EVERY field the JSON emitters produce. This closes
+/// the drop-a-counter bug class for segment fetches and anything added
+/// later: a field emitted by to_json but skipped by operator+= (or by
+/// absorb()) fails here for all analytics at once.
+void expect_aggregation_consistent(const EdgeAnalyticStats& s,
+                                   const char* analytic) {
+  SCOPED_TRACE(analytic);
+  const util::Json total = util::to_json(s.run.total());
+  const auto sums = summed_fields(s.run.stats);
+  ASSERT_EQ(total.items().size(), sums.size());
+  for (const auto& [key, val] : total.items()) {
+    const auto it = std::find_if(sums.begin(), sums.end(),
+                                 [&](const auto& kv) { return kv.first == key; });
+    ASSERT_NE(it, sums.end()) << "field " << key << " missing per rank";
+    EXPECT_DOUBLE_EQ(val.as_number(), it->second) << "CommStats field " << key;
+  }
+
+  // Cache totals against the retained per-rank cache records.
+  ASSERT_EQ(s.offsets_cache_ranks.size(), s.run.stats.size());
+  ASSERT_EQ(s.adj_cache_ranks.size(), s.run.stats.size());
+  const auto audit_cache = [&](const clampi::CacheStats& total_stats,
+                               const std::vector<clampi::CacheStats>& ranks,
+                               const char* which) {
+    const util::Json jt = util::to_json(total_stats);
+    const auto cs = summed_fields(ranks);
+    ASSERT_EQ(jt.items().size(), cs.size()) << which;
+    for (const auto& [key, val] : jt.items()) {
+      // Derived ratios (hit_rate/miss_rate) are quotients of the additive
+      // counters, not sums — the counters they derive from are audited.
+      if (key.ends_with("_rate")) continue;
+      const auto it = std::find_if(cs.begin(), cs.end(), [&](const auto& kv) {
+        return kv.first == key;
+      });
+      ASSERT_NE(it, cs.end()) << which << " field " << key;
+      EXPECT_DOUBLE_EQ(val.as_number(), it->second)
+          << which << " field " << key;
+    }
+  };
+  audit_cache(s.offsets_cache_total, s.offsets_cache_ranks, "offsets_cache");
+  audit_cache(s.adj_cache_total, s.adj_cache_ranks, "adj_cache");
+}
+
+TEST(AnalyticStats, PerRankCountersSumToTotalsForEveryAnalytic) {
+  const CSRGraph g = rmat_graph(8, 8, 50);
+  EngineConfig cfg;
+  cfg.use_cache = true;
+  cfg.cache_sizing = CacheSizing::paper_default(g.num_vertices(), 1 << 18);
+  cfg.hub_fraction = 0.1;  // hub_local_hits must survive aggregation too
+
+  expect_aggregation_consistent(run_distributed_lcc(g, 4, cfg), "lcc");
+  expect_aggregation_consistent(run_distributed_tc_result(g, 4, cfg, {}),
+                                "tc");
+  EngineConfig flat = cfg;
+  flat.hub_fraction = 0.0;  // per-edge scores reject nothing else here
+  expect_aggregation_consistent(run_distributed_jaccard(g, 4, flat),
+                                "jaccard");
+  expect_aggregation_consistent(run_distributed_overlap(g, 4, flat),
+                                "overlap");
+  expect_aggregation_consistent(run_distributed_adamic_adar(g, 4, flat),
+                                "adamic_adar");
+
+  // The segment-fetch path: Grid2D runs count segment_gets, which must
+  // aggregate like every other counter (this is the exact drop-a-counter
+  // scenario the audit exists for).
+  const auto grid = run_distributed_lcc(g, 4, cfg, {},
+                                        graph::PartitionKind::Grid2D);
+  expect_aggregation_consistent(grid, "lcc_grid2d");
+  EXPECT_GT(grid.run.total().segment_gets, 0u);
+  const util::Json jt = util::to_json(grid.run.total());
+  ASSERT_NE(jt.find("segment_gets"), nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(jt.find("segment_gets")->as_number()),
+            grid.run.total().segment_gets);
 }
 
 }  // namespace

@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
   cli.add_int("seed", "generator / relabeling seed", 1);
   cli.add_string("algo", "lcc | tc | jaccard | overlap | adamic-adar", "lcc");
   cli.add_int("ranks", "simulated compute nodes", 8);
-  cli.add_string("partition", "block | cyclic | degree1d", "block");
+  cli.add_string("partition", "block | cyclic | degree1d | grid2d", "block");
   cli.add_double("hub-frac",
                  "replicate the adjacency of this fraction of the "
                  "highest-degree vertices on every rank (0 = off)",
@@ -176,10 +176,12 @@ int main(int argc, char** argv) {
     partition = graph::PartitionKind::Cyclic1D;
   } else if (part_name == "degree1d") {
     partition = graph::PartitionKind::DegreeBalanced1D;
+  } else if (part_name == "grid2d") {
+    partition = graph::PartitionKind::Grid2D;
   } else {
     std::fprintf(stderr,
                  "atlc_run: unknown --partition '%s' (block | cyclic | "
-                 "degree1d)\n",
+                 "degree1d | grid2d)\n",
                  part_name.c_str());
     return 1;
   }
@@ -187,6 +189,23 @@ int main(int argc, char** argv) {
   auto out = open_out(cli.get_string("out"));
 
   const std::string& algo = cli.get_string("algo");
+  // Friendly rejections for the 2D partition: the incremental stream
+  // counter and the per-edge similarity analytics are 1D-only (the library
+  // would abort on the same conditions via ATLC_CHECK).
+  if (partition == graph::PartitionKind::Grid2D &&
+      cli.get_int("stream-batches") > 0) {
+    std::fprintf(stderr,
+                 "atlc_run: --partition grid2d does not support "
+                 "--stream-batches yet (incremental counting is 1D-only)\n");
+    return 1;
+  }
+  if (partition == graph::PartitionKind::Grid2D &&
+      (algo == "jaccard" || algo == "overlap" || algo == "adamic-adar")) {
+    std::fprintf(stderr,
+                 "atlc_run: --partition grid2d does not support per-edge "
+                 "similarity scores (they need whole adjacency rows)\n");
+    return 1;
+  }
   if (cli.get_int("stream-batches") > 0) {
     if (algo != "lcc" && algo != "tc") {
       std::fprintf(stderr,
@@ -257,7 +276,7 @@ int main(int argc, char** argv) {
                      r.lcc[v]);
     }
   } else if (algo == "tc") {
-    const auto triangles = core::run_distributed_tc(g, ranks, cfg);
+    const auto triangles = core::run_distributed_tc(g, ranks, cfg, {}, partition);
     std::fprintf(out.get(), "global_triangles\n%llu\n",
                  static_cast<unsigned long long>(triangles));
   } else if (algo == "jaccard" || algo == "overlap" || algo == "adamic-adar") {
