@@ -58,6 +58,22 @@ struct DistGraph {
   }
 };
 
+/// Out-of-core seam: an object that can materialise a rank's local CSR
+/// slice directly — offsets over local row slots plus global-id adjacency
+/// entries, exactly the layout build_dist_graph derives from the global
+/// CSR. ingest::SnapshotReader implements it by seek-reading the rank's
+/// extent list out of a partition-sliced snapshot (DESIGN.md §11), which
+/// is the paper's Fig. 3 step 1 done literally: each rank reads only its
+/// chunk from disk. Implementations must be safe to call concurrently
+/// from all rank threads.
+class LocalSliceSource {
+ public:
+  virtual ~LocalSliceSource() = default;
+  virtual void read_slice(const Partition& partition, std::uint32_t rank,
+                          std::vector<EdgeIndex>& offsets,
+                          std::vector<VertexId>& adjacencies) const = 0;
+};
+
 /// Build the rank-local partition from the (process-shared) global CSR and
 /// expose it over RMA windows. Collective: every rank must call it.
 ///
@@ -65,6 +81,10 @@ struct DistGraph {
 /// (paper Fig. 3, step 1); in this shared-address-space simulation the
 /// "read" is a slice-copy out of the shared CSR, preserving the property
 /// that a rank's accessible state is its own partition + the windows.
+/// When `slice` is non-null the rank's slice comes from it instead —
+/// seek-reads against a snapshot's per-rank extent index — and the global
+/// CSR is only consulted for hub rows. Either path must produce identical
+/// vectors; build_dist_graph cross-checks the row count.
 ///
 /// When `hubs` is non-null and non-empty, the prototype replica is copied
 /// into the rank's DistGraph and the replication traffic is priced on the
@@ -74,6 +94,7 @@ struct DistGraph {
 /// bit-identical to pre-replication builds.
 [[nodiscard]] DistGraph build_dist_graph(
     rma::RankCtx& ctx, const CSRGraph& global, const Partition& partition,
-    const graph::HubReplica* hubs = nullptr);
+    const graph::HubReplica* hubs = nullptr,
+    const LocalSliceSource* slice = nullptr);
 
 }  // namespace atlc::core

@@ -296,7 +296,8 @@ template <EdgeAnalyticBody Body>
   opts.ranks = ranks;
   opts.net = net;
   out.run = rma::Runtime::run(opts, [&](rma::RankCtx& ctx) {
-    const DistGraph dg = build_dist_graph(ctx, g, partition, &hub_replica);
+    const DistGraph dg =
+        build_dist_graph(ctx, g, partition, &hub_replica, config.slice_source);
     EdgePipeline pipeline(ctx, dg, config);
     body(ctx, dg, pipeline);
     rank_stats[ctx.rank()] = pipeline.harvest();

@@ -11,6 +11,8 @@
 
 namespace atlc::core {
 
+class LocalSliceSource;  // core/dist_graph.hpp
+
 using graph::VertexId;
 
 /// Sizing of the two CLaMPI caches (paper Section IV-D2): from a total
@@ -119,6 +121,15 @@ struct EngineConfig {
   /// distributed runs: ranks are already threads in this simulation.
   bool parallel_intersect = false;
   intersect::ParallelConfig parallel{};
+
+  /// Out-of-core graph build: when non-null, run_edge_analytic passes this
+  /// to build_dist_graph and each rank's local CSR slice is seek-read from
+  /// it (ingest::SnapshotReader over a v2 partition-sliced snapshot,
+  /// DESIGN.md §11) instead of sliced out of the in-memory global CSR.
+  /// Results are bit-identical either way — the snapshot stores exactly
+  /// the rows the in-memory build derives. Not owned; must outlive the
+  /// run, and must be safe to call from all rank threads.
+  const LocalSliceSource* slice_source = nullptr;
 
   /// Record, per target global vertex, how many remote reads it received
   /// (drives paper Figs. 1, 4, 5). Costs one counter array per rank.

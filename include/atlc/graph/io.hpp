@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "atlc/graph/edge_list.hpp"
@@ -11,8 +12,14 @@ namespace atlc::graph {
 /// compacted to 0..n-1 in first-appearance order. This is the loader that
 /// reads the paper's real datasets (Orkut, LiveJournal, ...) when the SNAP
 /// files are available; the benches fall back to synthetic proxies offline.
-[[nodiscard]] EdgeList load_text_edges(const std::string& path,
-                                       Directedness directedness);
+///
+/// The containers are pre-sized from the file size (ids repeat, lines are
+/// short), and inputs whose *distinct* id count exceeds `max_vertices` —
+/// always clamped to the uint32 VertexId space — are rejected with an
+/// "atlc:" error instead of silently wrapping the compacted ids.
+[[nodiscard]] EdgeList load_text_edges(
+    const std::string& path, Directedness directedness,
+    std::uint64_t max_vertices = 0xffffffffull);
 
 /// Write the text edge-list format.
 void save_text_edges(const EdgeList& edges, const std::string& path);

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atlc::ingest {
+
+/// One window of whole text lines cut from the input file. `data` always
+/// ends on a line boundary (trailing '\n'), except possibly for the final
+/// chunk of a file whose last line has no newline.
+struct TextChunk {
+  std::uint64_t file_offset = 0;  ///< byte offset of data[0] in the file
+  std::string data;
+};
+
+/// Streams a text file as fixed-size byte windows stitched to line
+/// boundaries: each window is read with one bulk fread of ~chunk_bytes,
+/// then trimmed back to the last newline; the partial tail line is carried
+/// into the next window. Concatenating all chunks reproduces the file
+/// byte-for-byte, so a parser that is per-line deterministic produces the
+/// same edge stream for every chunk size — the property the ingest
+/// pipeline's thread/chunk-size sweeps rely on (DESIGN.md §11).
+///
+/// A single line longer than `chunk_bytes` is handled by growing that one
+/// window until its newline (or EOF) is found; `chunk_bytes` is a target,
+/// not a hard cap.
+class ChunkReader {
+ public:
+  ChunkReader(const std::string& path, std::size_t chunk_bytes);
+  ~ChunkReader();
+  ChunkReader(const ChunkReader&) = delete;
+  ChunkReader& operator=(const ChunkReader&) = delete;
+
+  /// Fill `out` with the next window of whole lines. Returns false at EOF
+  /// (out is left empty).
+  bool next(TextChunk& out);
+
+  [[nodiscard]] std::uint64_t bytes_read() const { return bytes_read_; }
+  [[nodiscard]] std::uint64_t file_bytes() const { return file_bytes_; }
+
+ private:
+  std::FILE* f_ = nullptr;
+  std::size_t chunk_bytes_;
+  std::string carry_;            ///< partial last line of the previous window
+  std::uint64_t consumed_ = 0;   ///< file offset of the first byte of carry_
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t file_bytes_ = 0;
+};
+
+/// One raw id pair as it appears in the file, before compaction.
+struct RawPair {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Parse one chunk of SNAP-format text into raw id pairs, mirroring
+/// load_text_edges line semantics exactly: lines starting with '#' or '%'
+/// and empty lines are skipped, and a line contributes a pair iff two
+/// base-10 integers parse from its front (strtoull rules: leading
+/// whitespace and an optional sign are accepted, trailing junk is
+/// ignored). Malformed lines are skipped. Thread-safe on disjoint chunks —
+/// this is the function the pipeline fans out under OpenMP. Returns the
+/// number of lines seen (parsed or skipped).
+std::size_t parse_text_chunk(std::string_view text, std::vector<RawPair>& out);
+
+}  // namespace atlc::ingest

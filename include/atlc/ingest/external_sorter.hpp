@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "atlc/graph/types.hpp"
+
+namespace atlc::ingest {
+
+using graph::Edge;
+
+/// Sort `edges` lexicographically by (u, v) with OpenMP: per-thread sorted
+/// runs merged pairwise by std::inplace_merge (a merge tree of log2(T)
+/// levels, each level merging disjoint pairs in parallel). Falls back to
+/// std::sort without OpenMP or for small inputs. `num_threads` 0 uses the
+/// OpenMP default, mirroring intersect::ParallelConfig.
+void parallel_sort_edges(std::span<Edge> edges, int num_threads = 0);
+
+/// Out-of-core edge sorter: buffers added edges in memory, spills the
+/// buffer as a sorted run file whenever `mem_budget_bytes` is exceeded, and
+/// replays the k-way merge of all runs + the in-memory tail on demand.
+///
+/// The budget is a watermark, not a hard cap: add() appends its whole batch
+/// before checking, so peak memory is the budget plus one parse batch.
+/// A budget of 0 disables spilling (fully in-memory sort).
+///
+/// The merged stream is identical regardless of how the input was split
+/// into runs (duplicates included, in nondecreasing order), which is what
+/// makes the spill path byte-identical to the in-memory path downstream.
+/// for_each_sorted() is re-runnable: run files stay on disk until clear()
+/// or destruction — the ingest pipeline replays the stream once to count
+/// degrees and once to emit (DESIGN.md §11).
+class ExternalEdgeSorter {
+ public:
+  /// Spill files are created as <tmp_prefix>.runN; removed on destruction.
+  ExternalEdgeSorter(std::string tmp_prefix, std::uint64_t mem_budget_bytes,
+                     int num_threads = 0);
+  ~ExternalEdgeSorter();
+  ExternalEdgeSorter(const ExternalEdgeSorter&) = delete;
+  ExternalEdgeSorter& operator=(const ExternalEdgeSorter&) = delete;
+
+  void add(Edge e);
+  void add(std::span<const Edge> edges);
+
+  /// Sort the in-memory tail. Call once, after the last add().
+  void finish();
+
+  /// Visit every edge in nondecreasing (u, v) order, duplicates included.
+  /// Requires finish(); may be called any number of times.
+  void for_each_sorted(const std::function<void(const Edge&)>& visit) const;
+
+  [[nodiscard]] std::size_t spill_runs() const { return runs_.size(); }
+  [[nodiscard]] std::uint64_t total_edges() const { return total_; }
+  /// Wall seconds spent sorting and spilling (inside add()/finish()).
+  [[nodiscard]] double sort_seconds() const { return sort_seconds_; }
+
+  /// Release the buffer and delete the run files early (the sorter becomes
+  /// unusable). Lets the pipeline drop stage-A storage before stage B peaks.
+  void clear();
+
+ private:
+  void maybe_spill();
+  void spill();
+
+  std::string tmp_prefix_;
+  std::uint64_t budget_;
+  int threads_;
+  std::vector<Edge> buffer_;
+  struct Run {
+    std::string path;
+    std::uint64_t count = 0;
+  };
+  std::vector<Run> runs_;
+  std::uint64_t total_ = 0;
+  bool finished_ = false;
+  double sort_seconds_ = 0.0;
+};
+
+}  // namespace atlc::ingest

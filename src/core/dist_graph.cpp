@@ -8,7 +8,8 @@ namespace atlc::core {
 
 DistGraph build_dist_graph(rma::RankCtx& ctx, const CSRGraph& global,
                            const Partition& partition,
-                           const graph::HubReplica* hubs) {
+                           const graph::HubReplica* hubs,
+                           const LocalSliceSource* slice) {
   ATLC_CHECK(partition.num_ranks() == ctx.num_ranks(),
              "partition rank count must match runtime");
   ATLC_CHECK(partition.num_vertices() == global.num_vertices(),
@@ -17,24 +18,32 @@ DistGraph build_dist_graph(rma::RankCtx& ctx, const CSRGraph& global,
   DistGraph dg{partition, global.directedness(), {}, {}, {}, {}, {}};
 
   const VertexId n_local = partition.part_size(ctx.rank());
-  // Under Grid2D the rank's local CSR *is* the segment store: each row slot
-  // keeps only the slice of the adjacency row whose neighbor ids fall in
-  // the rank's column block. 1D kinds take the whole row (the whole-range
-  // slice), so the build below is shared.
-  const auto [col_lo, col_hi] =
-      partition.col_block_range(partition.col_blocks() > 1
-                                    ? partition.grid_col(ctx.rank())
-                                    : 0);
-  dg.offsets.reserve(static_cast<std::size_t>(n_local) + 1);
-  dg.offsets.push_back(0);
-  for (VertexId lv = 0; lv < n_local; ++lv) {
-    const VertexId v = partition.global_id(ctx.rank(), lv);
-    const auto nbrs = global.neighbors(v);
-    // Rows are sorted, so the column-block restriction is a subrange.
-    const auto seg_lo = std::lower_bound(nbrs.begin(), nbrs.end(), col_lo);
-    const auto seg_hi = std::lower_bound(seg_lo, nbrs.end(), col_hi);
-    dg.adjacencies.insert(dg.adjacencies.end(), seg_lo, seg_hi);
-    dg.offsets.push_back(dg.adjacencies.size());
+  if (slice != nullptr) {
+    // Out-of-core path: the slice source seek-reads this rank's rows (e.g.
+    // from a snapshot's extent index) instead of slicing the global CSR.
+    slice->read_slice(partition, ctx.rank(), dg.offsets, dg.adjacencies);
+    ATLC_CHECK(dg.offsets.size() == static_cast<std::size_t>(n_local) + 1,
+               "slice source row count must match the partition");
+  } else {
+    // Under Grid2D the rank's local CSR *is* the segment store: each row
+    // slot keeps only the slice of the adjacency row whose neighbor ids
+    // fall in the rank's column block. 1D kinds take the whole row (the
+    // whole-range slice), so the build below is shared.
+    const auto [col_lo, col_hi] =
+        partition.col_block_range(partition.col_blocks() > 1
+                                      ? partition.grid_col(ctx.rank())
+                                      : 0);
+    dg.offsets.reserve(static_cast<std::size_t>(n_local) + 1);
+    dg.offsets.push_back(0);
+    for (VertexId lv = 0; lv < n_local; ++lv) {
+      const VertexId v = partition.global_id(ctx.rank(), lv);
+      const auto nbrs = global.neighbors(v);
+      // Rows are sorted, so the column-block restriction is a subrange.
+      const auto seg_lo = std::lower_bound(nbrs.begin(), nbrs.end(), col_lo);
+      const auto seg_hi = std::lower_bound(seg_lo, nbrs.end(), col_hi);
+      dg.adjacencies.insert(dg.adjacencies.end(), seg_lo, seg_hi);
+      dg.offsets.push_back(dg.adjacencies.size());
+    }
   }
 
   if (hubs && !hubs->empty()) {

@@ -1,5 +1,6 @@
 #include "atlc/graph/io.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <cstring>
@@ -30,10 +31,34 @@ File open_or_throw(const std::string& path, const char* mode) {
 
 }  // namespace
 
-EdgeList load_text_edges(const std::string& path, Directedness directedness) {
+EdgeList load_text_edges(const std::string& path, Directedness directedness,
+                         std::uint64_t max_vertices) {
   File f = open_or_throw(path, "r");
+
+  // Size the containers from the file size up front: a SNAP line is ~12-24
+  // bytes and most ids repeat, so these bounds avoid the rehash/realloc
+  // storms that dominated load time on multi-GB inputs (capped so a huge
+  // file cannot force a huge speculative allocation).
+  if (std::fseek(f.get(), 0, SEEK_END) != 0)
+    throw std::runtime_error("atlc: cannot seek: " + path);
+  const long file_size = std::ftell(f.get());
+  if (file_size < 0) throw std::runtime_error("atlc: cannot stat: " + path);
+  std::rewind(f.get());
+  const auto bytes = static_cast<std::uint64_t>(file_size);
+
   std::unordered_map<std::uint64_t, VertexId> remap;
+  remap.reserve(
+      static_cast<std::size_t>(std::min<std::uint64_t>(bytes / 24 + 16,
+                                                       std::uint64_t{1} << 26)));
   std::vector<Edge> edges;
+  edges.reserve(
+      static_cast<std::size_t>(std::min<std::uint64_t>(bytes / 12 + 16,
+                                                       std::uint64_t{1} << 26)));
+
+  // Compacted ids must fit VertexId (uint32); `max_vertices` tightens the
+  // guard further so tests can exercise it without 4G-vertex inputs.
+  const std::uint64_t id_cap = std::min<std::uint64_t>(max_vertices,
+                                                       0xffffffffull);
   char line[256];
   while (std::fgets(line, sizeof(line), f.get())) {
     if (line[0] == '#' || line[0] == '%' || line[0] == '\n') continue;
@@ -44,6 +69,10 @@ EdgeList load_text_edges(const std::string& path, Directedness directedness) {
     auto intern = [&](std::uint64_t raw) {
       auto [it, inserted] =
           remap.try_emplace(raw, static_cast<VertexId>(remap.size()));
+      if (inserted && remap.size() > id_cap)
+        throw std::runtime_error(
+            "atlc: vertex id space overflow: more than " +
+            std::to_string(id_cap) + " distinct vertex ids in " + path);
       return it->second;
     };
     edges.push_back({intern(a), intern(b)});
@@ -100,11 +129,17 @@ EdgeList load_binary_edges(const std::string& path) {
   if (header[0] != kMagic)
     throw std::runtime_error("atlc: bad magic (not an ATLC binary edge "
                              "list): " + path);
-  if (header[1] != kVersion)
+  if (header[1] != kVersion) {
+    if (header[1] == 2)
+      throw std::runtime_error(
+          "atlc: this is a v2 partition-sliced snapshot, not a v1 binary "
+          "edge list — open it with ingest::SnapshotReader (atlc_run "
+          "--snapshot): " + path);
     throw std::runtime_error(
         "atlc: unsupported binary edge-list version " +
         std::to_string(header[1]) + " (expected " + std::to_string(kVersion) +
         "): " + path);
+  }
   if (header[2] > 1)
     throw std::runtime_error("atlc: corrupt directedness flag: " + path);
 

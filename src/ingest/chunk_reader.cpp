@@ -1,0 +1,102 @@
+#include "atlc/ingest/chunk_reader.hpp"
+
+#include <stdexcept>
+
+#include "atlc/util/check.hpp"
+
+namespace atlc::ingest {
+
+ChunkReader::ChunkReader(const std::string& path, std::size_t chunk_bytes)
+    : chunk_bytes_(chunk_bytes > 0 ? chunk_bytes : 1) {
+  f_ = std::fopen(path.c_str(), "rb");
+  if (!f_) throw std::runtime_error("atlc: cannot open file: " + path);
+  if (std::fseek(f_, 0, SEEK_END) == 0) {
+    const long size = std::ftell(f_);
+    if (size > 0) file_bytes_ = static_cast<std::uint64_t>(size);
+  }
+  std::rewind(f_);
+}
+
+ChunkReader::~ChunkReader() {
+  if (f_) std::fclose(f_);
+}
+
+bool ChunkReader::next(TextChunk& out) {
+  out.file_offset = consumed_;
+  out.data = std::move(carry_);
+  carry_.clear();
+
+  bool eof = false;
+  while (!eof) {
+    const std::size_t old = out.data.size();
+    out.data.resize(old + chunk_bytes_);
+    const std::size_t got = std::fread(out.data.data() + old, 1, chunk_bytes_,
+                                       f_);
+    out.data.resize(old + got);
+    bytes_read_ += got;
+    eof = got < chunk_bytes_;
+    if (out.data.size() >= chunk_bytes_ || eof) {
+      if (!eof) {
+        // Trim back to the last line boundary; a window with no newline at
+        // all is one oversized line — loop to grow it until its newline.
+        const std::size_t nl = out.data.rfind('\n');
+        if (nl == std::string::npos) continue;
+        carry_.assign(out.data, nl + 1, std::string::npos);
+        out.data.resize(nl + 1);
+      }
+      break;
+    }
+  }
+  consumed_ += out.data.size();
+  return !out.data.empty();
+}
+
+namespace {
+
+/// strtoull-compatible base-10 parse of [p, end): skips leading whitespace,
+/// accepts an optional sign (negative values wrap, as strtoull defines),
+/// saturates on overflow. Returns false when no digits are found; `p` is
+/// advanced past the consumed prefix on success.
+bool parse_u64(const char*& p, const char* end, std::uint64_t& out) {
+  while (p != end && (*p == ' ' || (*p >= '\t' && *p <= '\r'))) ++p;
+  bool negative = false;
+  if (p != end && (*p == '+' || *p == '-')) {
+    negative = *p == '-';
+    ++p;
+  }
+  if (p == end || *p < '0' || *p > '9') return false;
+  std::uint64_t value = 0;
+  bool overflow = false;
+  for (; p != end && *p >= '0' && *p <= '9'; ++p) {
+    const auto digit = static_cast<std::uint64_t>(*p - '0');
+    if (value > (~std::uint64_t{0} - digit) / 10) overflow = true;
+    if (!overflow) value = value * 10 + digit;
+  }
+  if (overflow) value = ~std::uint64_t{0};
+  out = negative ? std::uint64_t{0} - value : value;
+  return true;
+}
+
+}  // namespace
+
+std::size_t parse_text_chunk(std::string_view text,
+                             std::vector<RawPair>& out) {
+  std::size_t lines = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    const std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++lines;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    const char* p = line.data();
+    const char* const end = line.data() + line.size();
+    RawPair pair;
+    if (!parse_u64(p, end, pair.a) || !parse_u64(p, end, pair.b)) continue;
+    out.push_back(pair);
+  }
+  return lines;
+}
+
+}  // namespace atlc::ingest

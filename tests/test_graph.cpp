@@ -253,6 +253,18 @@ TEST(Rmat, SkewedDegreesVsUniform) {
   EXPECT_GT(s_rmat.max, s_uni.max);
 }
 
+TEST(Rmat, LargeCsrAdjacencySortedUnique) {
+  // Large enough that from_edges' per-row sort runs its OpenMP path; the
+  // parallelization must preserve the sorted-unique adjacency invariant
+  // every intersection kernel relies on.
+  auto e = generate_rmat({.scale = 12, .edge_factor = 8, .seed = 6});
+  clean(e, {.relabel_seed = 17});
+  const CSRGraph g = CSRGraph::from_edges(e);
+  EXPECT_TRUE(g.adjacency_sorted_unique());
+  EXPECT_EQ(g.num_vertices(), e.num_vertices());
+  EXPECT_EQ(g.num_edges(), e.num_edges());
+}
+
 TEST(Uniform, EdgeCountAndRange) {
   const auto e = generate_uniform({.num_vertices = 100,
                                    .num_edges = 500,

@@ -10,8 +10,11 @@
 //   atlc_run --input graph.txt --algo adamic-adar --cache --scores degree
 //   atlc_run --input graph.txt --stream-batches 8 --batch-size 1024 --cache
 //   atlc_run --input snap.txt --convert snap.bin   # binary snapshot, exit
+//   atlc_run --snapshot graph.v2 --algo lcc        # atlc_ingest output;
+//     skips clean/relabel and seek-reads each rank's CSR slice out of core
 #include <algorithm>
 #include <cstdio>
+#include <exception>
 #include <memory>
 #include <string>
 #include <utility>
@@ -24,6 +27,7 @@
 #include "atlc/graph/degree_stats.hpp"
 #include "atlc/graph/generators.hpp"
 #include "atlc/graph/io.hpp"
+#include "atlc/ingest/snapshot.hpp"
 #include "atlc/stream/stream_engine.hpp"
 #include "atlc/util/cli.hpp"
 #include "atlc/util/timer.hpp"
@@ -96,6 +100,12 @@ int main(int argc, char** argv) {
   util::Cli cli("atlc_run",
                 "distributed LCC / TC / Jaccard on an edge list or R-MAT");
   cli.add_string("input", "SNAP-format edge list ('' = generate R-MAT)", "");
+  cli.add_string("snapshot",
+                 "v2 partition-sliced snapshot (atlc_ingest output): the "
+                 "payload is already cleaned/relabeled, so --seed cleaning "
+                 "is skipped and each rank's CSR slice is seek-read from "
+                 "the file",
+                 "");
   cli.add_flag("directed", "treat the input as directed", false);
   cli.add_int("rmat-scale", "R-MAT scale when generating", 13);
   cli.add_int("rmat-ef", "R-MAT edge factor when generating", 16);
@@ -135,9 +145,32 @@ int main(int argc, char** argv) {
   // --- load or generate the graph, then clean it (paper Sec. II-B).
   util::Timer load_timer;
   graph::EdgeList edges;
-  const auto dir = cli.get_flag("directed") ? graph::Directedness::Directed
-                                            : graph::Directedness::Undirected;
-  if (!cli.get_string("input").empty()) {
+  auto dir = cli.get_flag("directed") ? graph::Directedness::Directed
+                                      : graph::Directedness::Undirected;
+  std::unique_ptr<ingest::SnapshotReader> snap;
+  if (!cli.get_string("snapshot").empty()) {
+    if (!cli.get_string("input").empty()) {
+      std::fprintf(stderr,
+                   "atlc_run: --snapshot and --input are mutually "
+                   "exclusive\n");
+      return 1;
+    }
+    if (!cli.get_string("convert").empty()) {
+      std::fprintf(stderr,
+                   "atlc_run: --convert does not apply to --snapshot input "
+                   "(a snapshot is already binary)\n");
+      return 1;
+    }
+    try {
+      snap = std::make_unique<ingest::SnapshotReader>(
+          cli.get_string("snapshot"));
+      edges = snap->read_all();
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "atlc_run: %s\n", ex.what());
+      return 1;
+    }
+    dir = edges.directedness();
+  } else if (!cli.get_string("input").empty()) {
     // Format-sniffing load: SNAP text or an ATLC binary snapshot.
     edges = graph::load_edges(cli.get_string("input"), dir);
   } else {
@@ -156,8 +189,11 @@ int main(int argc, char** argv) {
                  load_timer.elapsed_s());
     return 0;
   }
-  graph::clean(edges, {.relabel_seed =
-                           static_cast<std::uint64_t>(cli.get_int("seed"))});
+  // A v2 snapshot already went through the fused clean/relabel in
+  // atlc_ingest; cleaning again would re-permute the ids.
+  if (!snap)
+    graph::clean(edges, {.relabel_seed = static_cast<std::uint64_t>(
+                             cli.get_int("seed"))});
   const auto g = graph::CSRGraph::from_edges(edges);
   const auto deg = graph::degree_stats(g);
   std::fprintf(stderr,
@@ -185,7 +221,25 @@ int main(int argc, char** argv) {
                  part_name.c_str());
     return 1;
   }
-  const auto cfg = engine_config(cli, g);
+  auto cfg = engine_config(cli, g);
+  if (snap) {
+    // Out-of-core build: the static engine seek-reads each rank's slice
+    // from the snapshot's extent index. The streaming engine rebuilds rows
+    // in memory as updates land, so its graph builds stay in-memory; a
+    // rank-count mismatch falls back too (the slice index is per-rank).
+    if (cli.get_int("stream-batches") > 0) {
+      std::fprintf(stderr,
+                   "# snapshot slices unused by the streaming engine "
+                   "(updates rebuild rows in memory)\n");
+    } else if (snap->ranks() != ranks) {
+      std::fprintf(stderr,
+                   "# snapshot slice index was built for %u ranks, run uses "
+                   "%u: falling back to in-memory slicing\n",
+                   snap->ranks(), ranks);
+    } else {
+      cfg.slice_source = snap.get();
+    }
+  }
   auto out = open_out(cli.get_string("out"));
 
   const std::string& algo = cli.get_string("algo");
