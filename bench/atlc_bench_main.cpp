@@ -41,6 +41,10 @@ void add_harness_flags(util::Cli& cli) {
                "of the paper-calibrated constants (more faithful locally, "
                "but virtual times stop being bit-deterministic)",
                false);
+  cli.add_flag("phase-breakdown",
+               "trace every engine trial (atlc::obs) and attach a per-phase "
+               "virtual-time breakdown block to each trial record",
+               false);
   cli.add_string("json", "write the scenario's JSON document to this path",
                  "");
   cli.add_string("json-dir",
@@ -87,6 +91,7 @@ int run_scenario(const bench::Scenario& s, int argc, char** argv) {
       .repeats = static_cast<std::size_t>(
           std::max<std::int64_t>(1, cli.get_int("repeats"))),
       .calibrate = cli.get_flag("calibrate"),
+      .phase_breakdown = cli.get_flag("phase-breakdown"),
   };
 
   std::printf("=== %s (%s): %s%s ===\n", s.name.c_str(), s.anchor.c_str(),

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "atlc/obs/metrics.hpp"
+
 namespace atlc::bench {
 
 namespace {
@@ -76,6 +78,11 @@ core::RunResult ScenarioContext::run_lcc_trials(
   core::RunResult last;
   for (std::size_t trial = 0; trial < std::max<std::size_t>(1, repeats);
        ++trial) {
+    // Fresh collector per trial so each record's breakdown covers exactly
+    // one run. Tracing charges no virtual time, so traced and untraced
+    // trials report identical makespans.
+    obs::TraceCollector trace;
+    cfg.trace = phase_breakdown ? &trace : nullptr;
     auto r = core::run_distributed_lcc(g, ranks, cfg, {}, partition);
     util::Json detail = util::Json::object();
     detail["wall_seconds"] = r.run.wall_seconds;
@@ -85,6 +92,11 @@ core::RunResult ScenarioContext::run_lcc_trials(
     if (cfg.use_cache) {
       detail["offsets_cache"] = util::to_json(r.offsets_cache_total);
       detail["adj_cache"] = util::to_json(r.adj_cache_total);
+    }
+    if (phase_breakdown) {
+      obs::MetricsRegistry reg;
+      reg.ingest(trace);
+      detail["phases"] = reg.causes_json();
     }
     rec.add_trial(metric, r.run.makespan, std::move(detail));
     last = std::move(r);

@@ -40,6 +40,11 @@ struct ScenarioContext {
   /// instead of using the paper-calibrated constants. Calibrated runs are
   /// more faithful to the host but no longer bit-deterministic.
   bool calibrate = false;
+  /// `--phase-breakdown`: trace each engine trial through atlc::obs and
+  /// attach the per-cause virtual-time breakdown ({cause: {seconds,
+  /// per_rank[]}}) to the trial record. Off by default so baseline
+  /// documents are unchanged.
+  bool phase_breakdown = false;
 
   static constexpr int kSmokeBoost = -3;
 

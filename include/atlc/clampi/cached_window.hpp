@@ -54,10 +54,21 @@ class CachedWindow {
     // served (stale-hit-as-miss; the always-cache assumption holds only
     // within one epoch on dynamic graphs — DESIGN.md §7).
     cache_.set_epoch(window_.epoch());
+    // Stale probes show up as a stale_evictions bump inside lookup(); the
+    // delta distinguishes cache_stale from a plain cache_miss in traces.
+    const std::uint64_t stale_before =
+        ctx_->tracer().enabled() ? cache_.stats().stale_evictions : 0;
     if (cache_.lookup(key, dst)) {
-      ctx_->charge_comm(ctx_->net().time_cache_hit(key.bytes));
+      ctx_->charge_comm(ctx_->net().time_cache_hit(key.bytes), "cache_hit");
+      ctx_->tracer().instant("cache_hit", {"epoch", window_.epoch()},
+                             {"bytes", key.bytes});
       return Pending{};
     }
+    if (ctx_->tracer().enabled())
+      ctx_->tracer().instant(
+          cache_.stats().stale_evictions > stale_before ? "cache_stale"
+                                                        : "cache_miss",
+          {"epoch", window_.epoch()}, {"bytes", key.bytes});
     Pending p;
     p.completed = false;
     p.insert_on_finish = true;
@@ -93,7 +104,7 @@ class CachedWindow {
       // charged.
       cache_.set_epoch(window_.epoch());
       if (!cache_.contains(p.key)) cache_.insert(p.key, p.dst, p.score);
-      ctx_->charge_comm(ctx_->net().cache_miss_overhead_s);
+      ctx_->charge_comm(ctx_->net().cache_miss_overhead_s, "cache_insert");
     }
   }
 

@@ -295,11 +295,16 @@ template <EdgeAnalyticBody Body>
   rma::Runtime::Options opts;
   opts.ranks = ranks;
   opts.net = net;
+  opts.trace = config.trace;
   out.run = rma::Runtime::run(opts, [&](rma::RankCtx& ctx) {
+    ctx.tracer().begin("build_graph");
     const DistGraph dg =
         build_dist_graph(ctx, g, partition, &hub_replica, config.slice_source);
     EdgePipeline pipeline(ctx, dg, config);
+    ctx.tracer().end("build_graph");
+    ctx.tracer().begin("pipeline");
     body(ctx, dg, pipeline);
+    ctx.tracer().end("pipeline");
     rank_stats[ctx.rank()] = pipeline.harvest();
     rank_stats[ctx.rank()].busy_seconds = ctx.now();
     ctx.barrier();  // end-of-epoch synchronisation (teardown only)

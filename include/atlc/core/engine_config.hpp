@@ -9,6 +9,10 @@
 #include "atlc/intersect/cost_model.hpp"
 #include "atlc/intersect/parallel.hpp"
 
+namespace atlc::obs {
+class TraceCollector;
+}  // namespace atlc::obs
+
 namespace atlc::core {
 
 class LocalSliceSource;  // core/dist_graph.hpp
@@ -138,6 +142,13 @@ struct EngineConfig {
   /// Snapshot the C_adj cache contents at the end of the compute phase
   /// (drives paper Fig. 5 right: entry sizes vs reuse).
   bool dump_cache_entries = false;
+
+  /// Virtual-time trace sink (atlc::obs, DESIGN.md §12): when non-null,
+  /// the drivers pass it to rma::Runtime::Options and every layer's hooks
+  /// record into it. Null (the default) keeps every hook a single pointer
+  /// test and the virtual-time results bit-identical to pre-tracing builds.
+  /// Not owned; must outlive the run.
+  obs::TraceCollector* trace = nullptr;
 };
 
 }  // namespace atlc::core

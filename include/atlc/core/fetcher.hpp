@@ -117,6 +117,7 @@ class AdjacencyFetcher {
   std::vector<std::uint64_t> generations_;       ///< per-slot recycle count
   std::size_t next_slot_ = 0;
   std::uint64_t remote_fetches_ = 0;
+  std::uint64_t in_flight_ = 0;  ///< claimed ring slots (trace counter only)
   std::vector<std::uint64_t> remote_reads_;
 };
 

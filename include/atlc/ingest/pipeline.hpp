@@ -7,6 +7,10 @@
 #include "atlc/graph/types.hpp"
 #include "atlc/ingest/snapshot.hpp"
 
+namespace atlc::obs {
+class TraceCollector;
+}  // namespace atlc::obs
+
 namespace atlc::ingest {
 
 /// Vertex-id relabeling applied after low-degree removal, mirroring
@@ -44,6 +48,11 @@ struct IngestOptions {
   std::uint64_t max_vertices = 0xffffffffull;
   /// Directory for spill files; empty = alongside the output snapshot.
   std::string tmp_dir;
+  /// Optional trace sink (atlc::obs): records the pipeline's stage spans
+  /// (read_parse / merge_degree / map_relabel / write_snapshot) as rank 0.
+  /// Ingest has no virtual clock, so these spans carry WALL timestamps and
+  /// are excluded from every determinism claim. Not owned.
+  obs::TraceCollector* trace = nullptr;
 };
 
 /// Everything the CLI prints and the ingest bench records. Wall-clock

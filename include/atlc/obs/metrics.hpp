@@ -1,0 +1,109 @@
+#pragma once
+
+// Aggregation over atlc::obs traces (DESIGN.md §12): MetricsRegistry folds
+// a TraceCollector's event stream — or a parsed Chrome trace-event document
+// (tools/atlc_trace) — into counters, virtual-latency histograms
+// (util::stats percentiles + log-scale buckets), per-cause time breakdowns,
+// an epoch-bucketed cache hit-rate series, and per-row remote-fetch tallies.
+// Everything derives from virtual-time event fields, so aggregates inherit
+// the trace's bit-determinism.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "atlc/obs/trace.hpp"
+#include "atlc/util/json.hpp"
+
+namespace atlc::obs {
+
+/// Per-epoch cache probe tallies (from cache_hit/cache_miss/cache_stale
+/// instants, whose arg carries the CLaMPI window epoch the probe hit).
+struct EpochCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stale = 0;
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class MetricsRegistry {
+ public:
+  /// Manual feeds (tests and ad-hoc aggregation).
+  void count(const std::string& name, std::uint64_t delta = 1);
+  void observe(const std::string& name, double sample);
+
+  /// Fold in every rank buffer of `c`.
+  void ingest(const TraceCollector& c);
+
+  /// Fold in a parsed Chrome trace-event document (the exporter's own
+  /// format: pid 0, tid = 2*rank + track). Unknown events are skipped, so
+  /// hand-edited traces still aggregate.
+  void ingest_chrome(const util::Json& doc);
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, std::vector<double>>& samples()
+      const {
+    return samples_;
+  }
+  /// Per-cause Complete-event seconds (event names: "compute",
+  /// "flush_wait", "barrier", ...), indexed by rank; per-category seconds
+  /// ("compute"/"comm"/"nic"); and phase-span (B/E) seconds likewise.
+  [[nodiscard]] const std::map<std::string, std::vector<double>>&
+  cause_seconds() const {
+    return cause_seconds_;
+  }
+  [[nodiscard]] const std::map<std::string, std::vector<double>>&
+  cat_seconds() const {
+    return cat_seconds_;
+  }
+  [[nodiscard]] const std::map<std::string, std::vector<double>>&
+  span_seconds() const {
+    return span_seconds_;
+  }
+  [[nodiscard]] const std::map<std::uint64_t, EpochCacheStats>& cache_epochs()
+      const {
+    return cache_epochs_;
+  }
+
+  /// Top-k remote-fetched rows (vertex id, fetch count), hottest first;
+  /// ties broken by vertex id for determinism.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>> top_rows(
+      std::size_t k) const;
+
+  /// Everything as one JSON document: counters, per-sample-set percentile
+  /// summaries + log-scale histogram buckets, cause/span breakdowns, the
+  /// epoch cache series, and the top rows.
+  [[nodiscard]] util::Json to_json(std::size_t hist_bins = 12,
+                                   std::size_t top_k = 10) const;
+
+  /// Just the per-cause time breakdown — the bench JSON's optional
+  /// per-phase block ({cause: {seconds, per_rank[]}}).
+  [[nodiscard]] util::Json causes_json() const;
+
+ private:
+  void add_event(std::uint32_t rank, std::uint8_t track, const char* name,
+                 const char* cat, char phase, double ts, double dur,
+                 TraceArg a0, TraceArg a1);
+  std::vector<double>& per_rank(
+      std::map<std::string, std::vector<double>>& m, const std::string& name,
+      std::uint32_t rank);
+
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::vector<double>> samples_;
+  std::map<std::string, std::vector<double>> cause_seconds_;
+  std::map<std::string, std::vector<double>> cat_seconds_;
+  std::map<std::string, std::vector<double>> span_seconds_;
+  std::map<std::uint64_t, EpochCacheStats> cache_epochs_;
+  std::map<std::uint64_t, std::uint64_t> row_fetches_;
+  /// Open phase spans per (rank, name): begin timestamps, LIFO.
+  std::map<std::pair<std::uint32_t, std::string>, std::vector<double>> open_;
+};
+
+}  // namespace atlc::obs

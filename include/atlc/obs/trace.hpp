@@ -1,0 +1,197 @@
+#pragma once
+
+// atlc::obs — deterministic virtual-time tracing (DESIGN.md §12).
+//
+// A per-rank Tracer records spans, instants, counters and NIC transfer
+// events stamped with the rank's VIRTUAL clock, and coalesces the engine's
+// fine-grained charge_compute/charge_comm stream into per-cause Complete
+// events whose per-rank durations sum to exactly the CommStats totals. A
+// TraceCollector gathers every rank's buffer and exports Chrome trace-event
+// JSON (Perfetto-loadable; one process, two tracks per rank: the rank's
+// phase/compute timeline and its NIC injection port).
+//
+// Determinism contract: every recorded field derives from virtual-time
+// state, ranks write to disjoint pre-sized buffers, and the exporter orders
+// events by (track, timestamp) — so for a fixed seed the exported bytes are
+// identical across runs and thread schedules. Wall-clock capture is opt-in
+// (TraceCollector::capture_wall) and adds a clearly separated "wall_s" arg;
+// wall fields are never gated and never asserted deterministic.
+//
+// Disabled-tracer contract: an unbound Tracer (sink == nullptr) performs no
+// allocation and emits no event on any record call — the hooks threaded
+// through rma/core/clampi/stream compile down to one pointer test, which is
+// how the checked-in virtual-time baselines stay bit-identical with tracing
+// compiled in but off (tests/test_obs.cpp pins both properties).
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "atlc/util/timer.hpp"
+
+namespace atlc::obs {
+
+/// Chrome trace-event phases the exporter emits ("ph" values).
+enum class EventPhase : std::uint8_t {
+  Begin,     ///< "B" — span open (paired with End, same track)
+  End,       ///< "E" — span close
+  Instant,   ///< "i" — point event
+  Complete,  ///< "X" — span with ts + dur known at emission
+  Counter,   ///< "C" — sampled counter series
+};
+
+/// One optional key/value argument. Keys must be string literals (or other
+/// program-lifetime strings); values are unsigned integers — every traced
+/// quantity (rank, bytes, vertex id, epoch, occupancy) is one.
+struct TraceArg {
+  const char* key = nullptr;
+  std::uint64_t value = 0;
+};
+
+/// One recorded event. `name`/`cat` must outlive the collector (string
+/// literals). Timestamps and durations are virtual seconds; `wall` is a
+/// wall-clock second reading or negative when wall capture is off.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  double ts = 0.0;
+  double dur = 0.0;  ///< Complete events only
+  double wall = -1.0;
+  TraceArg arg0{};
+  TraceArg arg1{};
+  EventPhase phase = EventPhase::Instant;
+  std::uint8_t track = 0;  ///< 0 = rank timeline, 1 = NIC injection port
+};
+
+/// Destination for a rank's events. on_event may be called concurrently for
+/// DIFFERENT ranks (never for the same rank), so implementations must keep
+/// per-rank state disjoint.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(std::uint32_t rank, const TraceEvent& e) = 0;
+  /// Wall timestamp stamped into events, or negative = no wall capture
+  /// (the default; wall fields would break trace byte-determinism).
+  [[nodiscard]] virtual double wall_now() const { return -1.0; }
+};
+
+/// Test sink: counts events without storing them (the tracing-off overhead
+/// assertion binds one, unbinds, and checks the count stays zero).
+class CountingSink final : public TraceSink {
+ public:
+  void on_event(std::uint32_t, const TraceEvent&) override { ++events_; }
+  [[nodiscard]] std::uint64_t events() const { return events_; }
+
+ private:
+  std::uint64_t events_ = 0;
+};
+
+/// Per-rank event recorder. Bound by the runtime (or an ingest driver) to a
+/// sink + a clock; every record call is a no-op while unbound. NOT
+/// thread-safe — each rank thread owns exactly one Tracer.
+class Tracer {
+ public:
+  /// Reads the bound clock object's current time (virtual seconds for a
+  /// RankCtx, wall seconds for ingest's Timer-backed tracer).
+  using ClockFn = double (*)(const void*);
+
+  /// Start recording into `sink` as `rank`. `clock(clock_obj)` supplies
+  /// timestamps for begin/end/instant/counter; charge() and transfer()
+  /// carry explicit virtual times.
+  void bind(TraceSink* sink, std::uint32_t rank, ClockFn clock,
+            const void* clock_obj);
+  /// Flush the pending coalesced charge run and stop recording.
+  void unbind();
+
+  [[nodiscard]] bool enabled() const { return sink_ != nullptr; }
+  [[nodiscard]] std::uint32_t rank() const { return rank_; }
+
+  /// Open/close a named phase span on the rank timeline. Spans must nest
+  /// and balance: end() aborts (ATLC_CHECK) on an empty stack or a name
+  /// mismatch with the innermost begin().
+  void begin(const char* name);
+  void end(const char* name);
+
+  /// Point event, with up to two arguments.
+  void instant(const char* name, TraceArg a0 = {}, TraceArg a1 = {});
+
+  /// Counter series sample ("C" event): series `name`, one keyed value.
+  void counter(const char* name, const char* key, std::uint64_t value);
+
+  /// Record a virtual-time charge of `seconds` starting at `start`, under
+  /// cause `name` and category `cat` ("compute" or "comm"). Consecutive
+  /// charges with the same name whose intervals abut are coalesced into one
+  /// Complete event, so the per-rank sum of emitted durations per category
+  /// equals the CommStats second totals without a per-kernel-call event.
+  void charge(const char* cat, const char* name, double start, double seconds);
+
+  /// One NIC transfer ("X" on the NIC track): occupies the injection port
+  /// over virtual [start, done), fetching `bytes` from `target`.
+  void transfer(const char* name, double start, double done,
+                std::uint32_t target, std::uint64_t bytes);
+
+ private:
+  void emit(const TraceEvent& e);
+  void flush_run();
+
+  TraceSink* sink_ = nullptr;
+  std::uint32_t rank_ = 0;
+  ClockFn clock_ = nullptr;
+  const void* clock_obj_ = nullptr;
+
+  // Pending coalesced charge run.
+  const char* run_cat_ = nullptr;
+  const char* run_name_ = nullptr;
+  double run_start_ = 0.0;
+  double run_end_ = 0.0;
+
+  std::vector<const char*> span_stack_;
+};
+
+/// Collects every rank's events into disjoint buffers and exports them as
+/// Chrome trace-event JSON. prepare() must be called with the rank count
+/// before rank threads start recording; after that, on_event is lock-free
+/// (rank-disjoint vector appends).
+class TraceCollector final : public TraceSink {
+ public:
+  /// Opt-in wall-clock capture: stamps a "wall_s" arg (seconds since this
+  /// collector's construction) into every event. Off by default because
+  /// wall fields destroy trace byte-determinism; never gated either way.
+  bool capture_wall = false;
+
+  /// Size the per-rank buffers (idempotent; grows only).
+  void prepare(std::uint32_t ranks);
+
+  void on_event(std::uint32_t rank, const TraceEvent& e) override;
+  [[nodiscard]] double wall_now() const override;
+
+  [[nodiscard]] std::uint32_t ranks() const {
+    return static_cast<std::uint32_t>(buffers_.size());
+  }
+  [[nodiscard]] const std::vector<TraceEvent>& events(
+      std::uint32_t rank) const {
+    return buffers_[rank];
+  }
+  [[nodiscard]] std::uint64_t total_events() const;
+
+  /// Sum of Complete-event durations on rank `rank`'s timeline track for
+  /// category `cat` ("compute" / "comm") — the reconciliation quantity
+  /// tests compare against CommStats::{compute,comm}_seconds.
+  [[nodiscard]] double track_total(std::uint32_t rank, const char* cat) const;
+
+  /// The Chrome trace-event document (object form: {"traceEvents": [...]}),
+  /// events ordered by (pid, tid, ts) so per-track timestamps are monotone.
+  /// Serialized with a streaming writer — traces scale with |E| and a Json
+  /// tree of a million nodes is the wrong tool.
+  [[nodiscard]] std::string chrome_trace_string() const;
+
+  /// chrome_trace_string() to a file. False on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  std::vector<std::vector<TraceEvent>> buffers_;
+  util::Timer wall_;
+};
+
+}  // namespace atlc::obs

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "atlc/obs/trace.hpp"
 #include "atlc/rma/comm_stats.hpp"
 #include "atlc/rma/network_model.hpp"
 
@@ -94,8 +95,14 @@ class RankCtx {
   [[nodiscard]] double now() const { return now_; }
   /// Charge locally-measured computation to the virtual clock.
   void charge_compute(double seconds);
-  /// Charge communication wait time to the virtual clock.
-  void charge_comm(double seconds);
+  /// Charge communication wait time to the virtual clock. `why` labels the
+  /// charge in traces ("flush_wait", "cache_hit", ...) — string literal.
+  void charge_comm(double seconds, const char* why = "comm");
+
+  /// This rank's trace recorder. Unbound (every record call a no-op) unless
+  /// the run was launched with Options::trace; layers above hook in through
+  /// it without further plumbing.
+  [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
 
   /// Collective window creation: every rank contributes its local part.
   /// Must be called by all ranks in the same order (like MPI_Win_create).
@@ -162,6 +169,7 @@ class RankCtx {
   detail::SharedState* shared_;
   std::uint32_t rank_;
   CommStats stats_;
+  obs::Tracer tracer_;
   double now_ = 0.0;
   double nic_free_ = 0.0;       ///< virtual time the injection port frees up
   std::uint64_t window_seq_ = 0;
@@ -176,6 +184,10 @@ class Runtime {
   struct Options {
     std::uint32_t ranks = 2;
     NetworkModel net{};
+    /// Optional trace sink: when set, every RankCtx's tracer is bound to it
+    /// for the duration of the run (prepare()d for `ranks` before the rank
+    /// threads start). Null = tracing off, hooks compile to a pointer test.
+    obs::TraceCollector* trace = nullptr;
   };
 
   struct Result {

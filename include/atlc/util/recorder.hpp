@@ -59,6 +59,11 @@ class Recorder {
 [[nodiscard]] Json to_json(const clampi::CacheStats& s);
 [[nodiscard]] Json to_json(const Summary& s);
 
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status, getrusage fallback); 0 if unavailable. Recorded in
+/// every bench document's env block — machine-dependent, never gated.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
 /// Structured JSON emitter behind `atlc_bench --json` (see DESIGN.md §5 for
 /// the schema). One BenchRecorder per scenario run: environment/git metadata
 /// is captured at construction, scenarios then declare named metrics and

@@ -51,4 +51,35 @@ struct Histogram {
 [[nodiscard]] Histogram histogram(std::span<const double> sample,
                                   std::size_t bins);
 
+/// Histogram with logarithmically spaced bucket edges over [lo, hi):
+/// bucket i covers [lo*base^i, lo*base^(i+1)) with base = (hi/lo)^(1/bins).
+/// Values below `lo` land in the underflow bucket, values >= `hi` in the
+/// overflow bucket — latency distributions are heavy-tailed and a fixed
+/// linear range either clips the tail or starves the bulk.
+struct LogHistogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  double base = 0.0;  ///< per-bucket edge ratio
+  std::size_t underflow = 0;
+  std::size_t overflow = 0;
+  std::vector<std::size_t> counts;
+
+  /// `bins` log-spaced buckets over [lo, hi). Requires 0 < lo < hi, bins > 0.
+  [[nodiscard]] static LogHistogram make(double lo, double hi,
+                                         std::size_t bins);
+
+  void add(double v);
+
+  /// Lower edge of bucket `i` (edge(bins) == hi up to rounding).
+  [[nodiscard]] double edge(std::size_t i) const;
+  [[nodiscard]] std::size_t total() const;
+};
+
+/// LogHistogram spanning [min, max] of the positive values in `sample`
+/// (non-positive values count as underflow). An empty sample — or one with
+/// no positive values — yields a histogram with zero-count buckets over
+/// [1, 2), so callers can serialize unconditionally.
+[[nodiscard]] LogHistogram log_histogram(std::span<const double> sample,
+                                         std::size_t bins);
+
 }  // namespace atlc::util

@@ -135,6 +135,7 @@ AdjacencyFetcher::Token AdjacencyFetcher::begin(VertexId v,
       t.local_span = row;
       t.degree = static_cast<VertexId>(t.local_span.size());
       ++ctx_->stats().hub_local_hits;
+      ctx_->tracer().instant("hub_hit", {"v", v});
       return t;
     }
   }
@@ -154,6 +155,8 @@ AdjacencyFetcher::Token AdjacencyFetcher::begin(VertexId v,
   ATLC_CHECK(span[1] >= span[0], "corrupt remote offsets");
   t.count = span[1] - span[0];
   t.degree = static_cast<VertexId>(t.count);
+  ctx_->tracer().instant("fetch_remote", {"v", v},
+                         {"bytes", t.count * sizeof(VertexId)});
   if (t.count == 0) {
     // Out-degree-0 vertices exist in directed graphs (they survive
     // cleaning via their in-degree); there is no adjacency to transfer.
@@ -169,6 +172,11 @@ AdjacencyFetcher::Token AdjacencyFetcher::begin(VertexId v,
   t.slot = next_slot_;
   next_slot_ = (next_slot_ + 1) % buffers_.size();
   t.generation = ++generations_[t.slot];
+  // Ring occupancy series: transfers currently claimed but not finish()ed.
+  // Sustained occupancy at ring_size() means the prefetch depth (not the
+  // kernel) is the bottleneck.
+  if (ctx_->tracer().enabled())
+    ctx_->tracer().counter("ring", "in_flight", ++in_flight_);
   auto& buf = buffers_[t.slot];
   buf.resize(t.count);
   if (c_adj_) {
@@ -192,6 +200,8 @@ std::span<const VertexId> AdjacencyFetcher::finish(const Token& t) {
   } else {
     ctx_->flush(t.handle);
   }
+  if (ctx_->tracer().enabled() && in_flight_ > 0)
+    ctx_->tracer().counter("ring", "in_flight", --in_flight_);
   return {buffers_[t.slot].data(), t.count};
 }
 

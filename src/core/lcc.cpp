@@ -14,6 +14,17 @@ namespace atlc::core {
 
 namespace {
 
+/// Trace event name of a tiered intersect invocation (per-tier instants let
+/// atlc_trace histogram intersection sizes per kernel).
+const char* intersect_event_name(intersect::TierKernel k) {
+  switch (k) {
+    case intersect::TierKernel::Bitmap: return "intersect_bitmap";
+    case intersect::TierKernel::Gallop: return "intersect_gallop";
+    case intersect::TierKernel::MergeVec: return "intersect_merge";
+  }
+  return "intersect";
+}
+
 /// The LCC/TC edge kernel (paper Algorithm 3 inner loop): intersect adj(v)
 /// with the fetched adj(j), optionally restricted to the upper triangle,
 /// charge the intersection's modeled cost, and accumulate t(v). When
@@ -37,12 +48,17 @@ auto lcc_kernel(rma::RankCtx& ctx, const EngineConfig& config,
     if (tiered != nullptr) {
       const auto out = tiered->intersect(lhs, rhs);
       common = out.common;
+      if (ctx.tracer().enabled())
+        ctx.tracer().instant(intersect_event_name(out.kernel),
+                             {"size", lhs.size() + rhs.size()});
       ctx.charge_compute(out.seconds);
     } else {
       common = config.parallel_intersect
                    ? intersect::count_common_parallel(lhs, rhs, config.method,
                                                       config.parallel)
                    : intersect::count_common(lhs, rhs, config.method);
+      if (ctx.tracer().enabled())
+        ctx.tracer().instant("intersect", {"size", lhs.size() + rhs.size()});
       ctx.charge_compute(config.cost.seconds(config.method, lhs.size(),
                                              rhs.size()));
     }
@@ -74,12 +90,17 @@ auto lcc_segment_kernel(rma::RankCtx& ctx, const EngineConfig& config,
     if (tiered != nullptr) {
       const auto out = tiered->intersect_transient(lhs, rhs);
       common = out.common;
+      if (ctx.tracer().enabled())
+        ctx.tracer().instant(intersect_event_name(out.kernel),
+                             {"size", lhs.size() + rhs.size()});
       ctx.charge_compute(out.seconds);
     } else {
       common = config.parallel_intersect
                    ? intersect::count_common_parallel(lhs, rhs, config.method,
                                                       config.parallel)
                    : intersect::count_common(lhs, rhs, config.method);
+      if (ctx.tracer().enabled())
+        ctx.tracer().instant("intersect", {"size", lhs.size() + rhs.size()});
       ctx.charge_compute(config.cost.seconds(config.method, lhs.size(),
                                              rhs.size()));
     }

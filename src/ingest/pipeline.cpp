@@ -10,13 +10,13 @@
 #include <unordered_map>
 #include <vector>
 
-#include <sys/resource.h>
-
 #include "atlc/graph/partition.hpp"
 #include "atlc/graph/relabel.hpp"
 #include "atlc/ingest/chunk_reader.hpp"
 #include "atlc/ingest/external_sorter.hpp"
+#include "atlc/obs/trace.hpp"
 #include "atlc/util/check.hpp"
+#include "atlc/util/recorder.hpp"
 #include "atlc/util/timer.hpp"
 
 #if !defined(ATLC_NO_OPENMP) && defined(_OPENMP)
@@ -209,25 +209,7 @@ void for_each_clean(const ExternalEdgeSorter& sorter, Visit&& visit) {
 
 }  // namespace
 
-std::uint64_t peak_rss_bytes() {
-  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
-    char line[256];
-    unsigned long long kb = 0;
-    bool found = false;
-    while (std::fgets(line, sizeof(line), f)) {
-      if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) {
-        found = true;
-        break;
-      }
-    }
-    std::fclose(f);
-    if (found) return std::uint64_t{kb} * 1024;
-  }
-  struct rusage ru {};
-  if (getrusage(RUSAGE_SELF, &ru) == 0)
-    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
-  return 0;
-}
+std::uint64_t peak_rss_bytes() { return util::peak_rss_bytes(); }
 
 IngestReport run_ingest(const std::string& input, const std::string& output,
                         const IngestOptions& opt) {
@@ -239,7 +221,22 @@ IngestReport run_ingest(const std::string& input, const std::string& output,
   const int threads = resolve_threads(opt.num_threads);
   const std::string prefix = tmp_prefix(output, opt.tmp_dir);
 
+  // Stage spans recorded as rank 0 against a WALL clock — ingest has no
+  // virtual time, so these traces are machine-dependent by construction
+  // (IngestOptions::trace). Unbound when tracing is off: zero overhead.
+  obs::Tracer tracer;
+  if (opt.trace != nullptr) {
+    opt.trace->prepare(1);
+    tracer.bind(
+        opt.trace, 0,
+        [](const void* t) {
+          return static_cast<const util::Timer*>(t)->elapsed_s();
+        },
+        &total);
+  }
+
   // ---- Stage 1: stream the input into the raw external sorter. ----------
+  tracer.begin("read_parse");
   util::Timer parse_timer;
   ExternalEdgeSorter raw(prefix + ".raw", opt.mem_budget_bytes, threads);
   Directedness dir = opt.directedness;
@@ -257,6 +254,7 @@ IngestReport run_ingest(const std::string& input, const std::string& output,
   raw.finish();
   const double stage1_wall = parse_timer.elapsed_s();
   rep.parse_seconds = stage1_wall - raw.sort_seconds();
+  tracer.end("read_parse");
 
   const VertexId n0 = rep.vertices_in;
 
@@ -264,6 +262,7 @@ IngestReport run_ingest(const std::string& input, const std::string& output,
   // deg_filter replicates remove_low_degree_once's count (u always, v only
   // when directed); out_deg is the final CSR out-degree, reusable directly
   // when the remap and relabel below turn out to be identities.
+  tracer.begin("merge_degree");
   util::Timer merge_timer;
   std::vector<VertexId> deg_filter(n0, 0);
   std::vector<VertexId> out_deg(n0, 0);
@@ -304,6 +303,8 @@ IngestReport run_ingest(const std::string& input, const std::string& output,
   orig_of.resize(n1);
   rep.vertices_removed = n0 - n1;
   rep.num_vertices = n1;
+  tracer.end("merge_degree");
+  tracer.begin("map_relabel");
 
   // Relabel permutation over the compacted survivor ids.
   std::vector<VertexId> perm;
@@ -384,8 +385,10 @@ IngestReport run_ingest(const std::string& input, const std::string& output,
   });
   rep.merge_seconds = merge_timer.elapsed_s() -
                       (identity ? 0.0 : mapped->sort_seconds());
+  tracer.end("map_relabel");
 
   // ---- Stage 3: emit the partition-sliced snapshot. ---------------------
+  tracer.begin("write_snapshot");
   util::Timer write_timer;
   std::vector<Partition> parts;
   parts.reserve(snapshot_v2::kKindCount);
@@ -406,6 +409,8 @@ IngestReport run_ingest(const std::string& input, const std::string& output,
       rep.extents[k] = writer.extents_total(k);
   }
   rep.write_seconds = write_timer.elapsed_s();
+  tracer.end("write_snapshot");
+  tracer.unbind();
   ATLC_CHECK(!identity || rep.num_edges == m_clean,
              "identity path must emit every cleaned edge");
 

@@ -1,0 +1,250 @@
+#include "atlc/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "atlc/util/stats.hpp"
+
+namespace atlc::obs {
+
+namespace {
+
+bool starts_with(const char* s, const char* prefix) {
+  return std::strncmp(s, prefix, std::strlen(prefix)) == 0;
+}
+
+/// Value of the argument named `key`, if either slot carries it.
+bool find_arg(TraceArg a0, TraceArg a1, const char* key, std::uint64_t* out) {
+  for (const TraceArg a : {a0, a1}) {
+    if (a.key != nullptr && std::strcmp(a.key, key) == 0) {
+      *out = a.value;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void MetricsRegistry::count(const std::string& name, std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::observe(const std::string& name, double sample) {
+  samples_[name].push_back(sample);
+}
+
+std::vector<double>& MetricsRegistry::per_rank(
+    std::map<std::string, std::vector<double>>& m, const std::string& name,
+    std::uint32_t rank) {
+  std::vector<double>& v = m[name];
+  if (v.size() <= rank) v.resize(rank + 1, 0.0);
+  return v;
+}
+
+void MetricsRegistry::add_event(std::uint32_t rank, std::uint8_t track,
+                                const char* name, const char* cat, char phase,
+                                double ts, double dur, TraceArg a0,
+                                TraceArg a1) {
+  std::uint64_t v = 0;
+  switch (phase) {
+    case 'X':
+      if (track == 1) {
+        // NIC transfer: count, byte volume, virtual get latency.
+        ++counters_["transfers"];
+        if (find_arg(a0, a1, "bytes", &v)) counters_["transfer_bytes"] += v;
+        samples_["get_latency_s"].push_back(dur);
+      } else {
+        per_rank(cause_seconds_, name, rank)[rank] += dur;
+      }
+      per_rank(cat_seconds_, cat, rank)[rank] += dur;
+      break;
+    case 'B':
+      open_[{rank, name}].push_back(ts);
+      break;
+    case 'E': {
+      auto it = open_.find({rank, name});
+      if (it == open_.end() || it->second.empty()) break;  // tolerate cut tail
+      per_rank(span_seconds_, name, rank)[rank] += ts - it->second.back();
+      it->second.pop_back();
+      break;
+    }
+    case 'i':
+      ++counters_[name];
+      if (starts_with(name, "cache_")) {
+        if (find_arg(a0, a1, "epoch", &v)) {
+          EpochCacheStats& e = cache_epochs_[v];
+          if (std::strcmp(name, "cache_hit") == 0) ++e.hits;
+          else if (std::strcmp(name, "cache_stale") == 0) ++e.stale;
+          else ++e.misses;
+        }
+      } else if (std::strcmp(name, "fetch_remote") == 0) {
+        if (find_arg(a0, a1, "v", &v)) ++row_fetches_[v];
+        if (find_arg(a0, a1, "bytes", &v))
+          samples_["fetch_bytes"].push_back(static_cast<double>(v));
+      } else if (starts_with(name, "intersect")) {
+        if (find_arg(a0, a1, "size", &v))
+          samples_[name].push_back(static_cast<double>(v));
+      }
+      break;
+    case 'C':
+      // Counter series sample: fold the value into a distribution (e.g.
+      // ring occupancy over time).
+      if (a0.key != nullptr)
+        samples_[name].push_back(static_cast<double>(a0.value));
+      break;
+    default:
+      break;  // metadata / unknown phases carry no metrics
+  }
+}
+
+void MetricsRegistry::ingest(const TraceCollector& c) {
+  for (std::uint32_t r = 0; r < c.ranks(); ++r) {
+    for (const TraceEvent& e : c.events(r)) {
+      char ph = '?';
+      switch (e.phase) {
+        case EventPhase::Begin: ph = 'B'; break;
+        case EventPhase::End: ph = 'E'; break;
+        case EventPhase::Instant: ph = 'i'; break;
+        case EventPhase::Complete: ph = 'X'; break;
+        case EventPhase::Counter: ph = 'C'; break;
+      }
+      add_event(r, e.track, e.name, e.cat, ph, e.ts, e.dur, e.arg0, e.arg1);
+    }
+  }
+}
+
+void MetricsRegistry::ingest_chrome(const util::Json& doc) {
+  const util::Json* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) return;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const util::Json& e = events->at(i);
+    const util::Json* ph_j = e.find("ph");
+    const util::Json* name_j = e.find("name");
+    if (ph_j == nullptr || name_j == nullptr) continue;
+    const std::string& ph = ph_j->as_string();
+    if (ph.size() != 1 || ph[0] == 'M') continue;
+    const util::Json* tid_j = e.find("tid");
+    const auto tid =
+        static_cast<std::uint32_t>(tid_j ? tid_j->as_number() : 0.0);
+    const util::Json* cat_j = e.find("cat");
+    const util::Json* ts_j = e.find("ts");
+    const util::Json* dur_j = e.find("dur");
+    // Up to two u64 args, in document order; "wall_s" is wall time, not data.
+    TraceArg a0{};
+    TraceArg a1{};
+    if (const util::Json* args = e.find("args"); args && args->is_object()) {
+      for (const auto& [key, value] : args->items()) {
+        if (key == "wall_s" || !value.is_number()) continue;
+        TraceArg a{key.c_str(), static_cast<std::uint64_t>(value.as_number())};
+        if (a0.key == nullptr) a0 = a;
+        else if (a1.key == nullptr) a1 = a;
+      }
+    }
+    add_event(tid / 2, static_cast<std::uint8_t>(tid % 2),
+              name_j->as_string().c_str(),
+              cat_j ? cat_j->as_string().c_str() : "", ph[0],
+              (ts_j ? ts_j->as_number() : 0.0) / 1e6,
+              (dur_j ? dur_j->as_number() : 0.0) / 1e6, a0, a1);
+  }
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> MetricsRegistry::top_rows(
+    std::size_t k) const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> rows(
+      row_fetches_.begin(), row_fetches_.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (rows.size() > k) rows.resize(k);
+  return rows;
+}
+
+namespace {
+
+util::Json breakdown_json(
+    const std::map<std::string, std::vector<double>>& m) {
+  util::Json out = util::Json::object();
+  for (const auto& [name, per_rank] : m) {
+    double total = 0.0;
+    util::Json ranks = util::Json::array();
+    for (double s : per_rank) {
+      total += s;
+      ranks.push_back(s);
+    }
+    util::Json entry = util::Json::object();
+    entry["seconds"] = total;
+    entry["per_rank"] = std::move(ranks);
+    out[name] = std::move(entry);
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Json MetricsRegistry::causes_json() const {
+  return breakdown_json(cause_seconds_);
+}
+
+util::Json MetricsRegistry::to_json(std::size_t hist_bins,
+                                    std::size_t top_k) const {
+  util::Json out = util::Json::object();
+
+  util::Json counters = util::Json::object();
+  for (const auto& [name, n] : counters_) counters[name] = n;
+  out["counters"] = std::move(counters);
+
+  util::Json samples = util::Json::object();
+  for (const auto& [name, vals] : samples_) {
+    util::Json s = util::Json::object();
+    s["n"] = vals.size();
+    if (!vals.empty()) {
+      s["p50"] = util::percentile(vals, 50.0);
+      s["p90"] = util::percentile(vals, 90.0);
+      s["p99"] = util::percentile(vals, 99.0);
+      s["max"] = *std::max_element(vals.begin(), vals.end());
+    }
+    const util::LogHistogram h = util::log_histogram(vals, hist_bins);
+    util::Json hist = util::Json::object();
+    hist["lo"] = h.lo;
+    hist["hi"] = h.hi;
+    hist["underflow"] = h.underflow;
+    hist["overflow"] = h.overflow;
+    util::Json counts = util::Json::array();
+    for (std::size_t c : h.counts) counts.push_back(c);
+    hist["counts"] = std::move(counts);
+    s["log_hist"] = std::move(hist);
+    samples[name] = std::move(s);
+  }
+  out["samples"] = std::move(samples);
+
+  out["causes"] = breakdown_json(cause_seconds_);
+  out["categories"] = breakdown_json(cat_seconds_);
+  out["spans"] = breakdown_json(span_seconds_);
+
+  util::Json epochs = util::Json::array();
+  for (const auto& [epoch, e] : cache_epochs_) {
+    util::Json row = util::Json::object();
+    row["epoch"] = epoch;
+    row["hits"] = e.hits;
+    row["misses"] = e.misses;
+    row["stale"] = e.stale;
+    row["hit_rate"] = e.hit_rate();
+    epochs.push_back(std::move(row));
+  }
+  out["cache_epochs"] = std::move(epochs);
+
+  util::Json rows = util::Json::array();
+  for (const auto& [vertex, fetches] : top_rows(top_k)) {
+    util::Json row = util::Json::object();
+    row["v"] = vertex;
+    row["fetches"] = fetches;
+    rows.push_back(std::move(row));
+  }
+  out["top_rows"] = std::move(rows);
+
+  return out;
+}
+
+}  // namespace atlc::obs

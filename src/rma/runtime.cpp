@@ -121,6 +121,7 @@ GetHandle WindowBase::get_bytes(std::uint32_t target,
   const double start = std::max(ctx.now_, ctx.nic_free_);
   const double done = start + ctx.net().time_remote(bytes);
   ctx.nic_free_ = done;
+  ctx.tracer_.transfer("get", start, done, target, bytes);
   return GetHandle{done};
 }
 
@@ -146,18 +147,20 @@ std::uint32_t RankCtx::num_ranks() const { return shared_->opts.ranks; }
 const NetworkModel& RankCtx::net() const { return shared_->opts.net; }
 
 void RankCtx::charge_compute(double seconds) {
+  tracer_.charge("compute", "compute", now_, seconds);
   now_ += seconds;
   stats_.compute_seconds += seconds;
 }
 
-void RankCtx::charge_comm(double seconds) {
+void RankCtx::charge_comm(double seconds, const char* why) {
+  tracer_.charge("comm", why, now_, seconds);
   now_ += seconds;
   stats_.comm_seconds += seconds;
 }
 
 void RankCtx::flush(GetHandle h) {
   ++stats_.flushes;
-  if (h.complete_at > now_) charge_comm(h.complete_at - now_);
+  if (h.complete_at > now_) charge_comm(h.complete_at - now_, "flush_wait");
 }
 
 void RankCtx::flush_all() { flush(GetHandle{nic_free_}); }
@@ -217,7 +220,9 @@ void RankCtx::barrier() {
       *std::max_element(sh.clock_slots.begin(), sh.clock_slots.end());
   sh.bar.wait();
   const double cost = net().time_barrier(num_ranks());
-  stats_.comm_seconds += (mx - now_) + cost;
+  const double wait = (mx - now_) + cost;
+  tracer_.charge("comm", "barrier", now_, wait);
+  stats_.comm_seconds += wait;
   now_ = mx + cost;
   ++stats_.barriers;
 }
@@ -233,7 +238,9 @@ std::uint64_t RankCtx::allreduce_sum(std::uint64_t value) {
       *std::max_element(sh.clock_slots.begin(), sh.clock_slots.end());
   sh.bar.wait();
   const double cost = net().time_barrier(num_ranks());
-  stats_.comm_seconds += (mx - now_) + cost;
+  const double wait = (mx - now_) + cost;
+  tracer_.charge("comm", "allreduce", now_, wait);
+  stats_.comm_seconds += wait;
   now_ = mx + cost;
   return sum;
 }
@@ -249,7 +256,9 @@ double RankCtx::allreduce_max(double value) {
       *std::max_element(sh.clock_slots.begin(), sh.clock_slots.end());
   sh.bar.wait();
   const double cost = net().time_barrier(num_ranks());
-  stats_.comm_seconds += (mx - now_) + cost;
+  const double wait = (mx - now_) + cost;
+  tracer_.charge("comm", "allreduce", now_, wait);
+  stats_.comm_seconds += wait;
   now_ = mx + cost;
   return result;
 }
@@ -284,7 +293,9 @@ std::vector<std::vector<std::uint32_t>> RankCtx::all_to_all(
                       net().remote_byte_s *
                           static_cast<double>(std::max(bytes_out, bytes_in)) +
                       net().time_barrier(p);
-  stats_.comm_seconds += (mx - now_) + cost;
+  const double wait = (mx - now_) + cost;
+  tracer_.charge("comm", "a2a", now_, wait);
+  stats_.comm_seconds += wait;
   now_ = mx + cost;
   stats_.messages_sent += p - 1;
   stats_.bytes_sent += bytes_out;
@@ -303,12 +314,21 @@ Runtime::Result Runtime::run(const Options& options, const RankFn& fn) {
   result.stats.resize(options.ranks);
   result.clocks.resize(options.ranks, 0.0);
 
+  // Size the per-rank trace buffers before any rank thread can record:
+  // after this, appends are rank-disjoint and lock-free.
+  if (options.trace != nullptr) options.trace->prepare(options.ranks);
+
   util::Timer wall;
   std::vector<std::thread> threads;
   threads.reserve(options.ranks);
   for (std::uint32_t r = 0; r < options.ranks; ++r) {
     threads.emplace_back([&, r] {
       RankCtx ctx(&shared, r);
+      if (shared.opts.trace != nullptr)
+        ctx.tracer_.bind(
+            shared.opts.trace, r,
+            [](const void* p) { return static_cast<const RankCtx*>(p)->now(); },
+            &ctx);
       try {
         fn(ctx);
       } catch (...) {
@@ -318,6 +338,7 @@ Runtime::Result Runtime::run(const Options& options, const RankFn& fn) {
         }
         shared.bar.poison();
       }
+      ctx.tracer_.unbind();  // flush the pending coalesced charge run
       result.stats[r] = ctx.stats();
       result.clocks[r] = ctx.now();
     });

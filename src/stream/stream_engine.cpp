@@ -43,7 +43,9 @@ StreamResult run_streaming_lcc(const graph::CSRGraph& g,
   rma::Runtime::Options ropts;
   ropts.ranks = ranks;
   ropts.net = options.net;
+  ropts.trace = cfg.trace;
   out.run = rma::Runtime::run(ropts, [&](rma::RankCtx& ctx) {
+    ctx.tracer().begin("cold_count");
     core::DistGraph dg = core::build_dist_graph(ctx, g, partition, &hub_proto);
     core::EdgePipeline pipeline(ctx, dg, cfg);
 
@@ -60,6 +62,7 @@ StreamResult run_streaming_lcc(const graph::CSRGraph& g,
     std::uint64_t global_triangles = ctx.allreduce_sum(local_sum) / 6;
 
     ctx.barrier();  // align clocks: everything before here is the cold cost
+    ctx.tracer().end("cold_count");
     double mark = ctx.now();
     if (ctx.rank() == 0) out.initial_makespan = mark;
 
@@ -67,20 +70,31 @@ StreamResult run_streaming_lcc(const graph::CSRGraph& g,
     IncrementalCounter counter(ctx, dg, pipeline, cfg);
 
     for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+      ctx.tracer().begin("batch");
+      ctx.tracer().begin("adjudicate");
       const EffectiveBatch eff = applier.adjudicate(batches[bi]);
+      ctx.tracer().end("adjudicate");
       DeltaSet deltas;
       std::uint64_t local_rows = 0;
       if (!eff.empty()) {  // replicated sets: all ranks agree on the skip
         // Destroyed triangles are only observable before the apply ...
+        ctx.tracer().begin("count_del");
         counter.count_deletions(eff, deltas);
         // ... and no rank may swap rows while a peer still reads them.
         ctx.barrier();
+        ctx.tracer().end("count_del");
+        ctx.tracer().begin("apply");
         local_rows = applier.apply_to_rows(eff);  // refreshes both windows
+        ctx.tracer().end("apply");
         // Created triangles are only observable after the apply.
+        ctx.tracer().begin("count_ins");
         counter.count_insertions(eff, deltas);
+        ctx.tracer().end("count_ins");
       }
+      ctx.tracer().begin("route");
       const RoutedDeltas routed =
           eff.empty() ? RoutedDeltas{} : counter.route(deltas);
+      ctx.tracer().end("route");
       for (const auto& [lv, d] : routed.local) {
         const auto cur = static_cast<std::int64_t>(tri[lv]);
         ATLC_DCHECK(cur + d >= 0, "stream: negative triangle count");
@@ -119,6 +133,7 @@ StreamResult run_streaming_lcc(const graph::CSRGraph& g,
           bo.lcc[v] = lcc[lv];
         }
       }
+      ctx.tracer().end("batch");
     }
 
     // Final scatter (disjoint slots per rank; no synchronisation needed).

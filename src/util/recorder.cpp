@@ -1,5 +1,6 @@
 #include "atlc/util/recorder.hpp"
 
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -9,6 +10,26 @@
 #include "atlc/util/timer.hpp"
 
 namespace atlc::util {
+
+std::uint64_t peak_rss_bytes() {
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    unsigned long long kb = 0;
+    bool found = false;
+    while (std::fgets(line, sizeof(line), f)) {
+      if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) {
+        found = true;
+        break;
+      }
+    }
+    std::fclose(f);
+    if (found) return std::uint64_t{kb} * 1024;
+  }
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0)
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+  return 0;
+}
 
 Summary Recorder::run_until_ci(const std::function<void()>& fn) {
   samples_.clear();
@@ -177,6 +198,10 @@ void BenchRecorder::add_table(const std::string& title, const Table& table) {
 
 const Json& BenchRecorder::finalize() {
   if (finalized_) return root_;
+  // Captured at finalize (not construction) so the figure covers the whole
+  // scenario. Machine-dependent; lives in meta, which bench_compare never
+  // gates.
+  root_["meta"]["peak_rss_bytes"] = peak_rss_bytes();
   Json& metrics = root_["metrics"];
   for (auto& kv : metrics.items()) {
     Json& m = kv.second;

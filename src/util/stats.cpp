@@ -105,4 +105,62 @@ Histogram histogram(std::span<const double> sample, std::size_t bins) {
   return h;
 }
 
+LogHistogram LogHistogram::make(double lo, double hi, std::size_t bins) {
+  if (!(lo > 0.0) || !(hi > lo) || bins == 0)
+    throw std::invalid_argument("LogHistogram: need 0 < lo < hi, bins > 0");
+  LogHistogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.base = std::pow(hi / lo, 1.0 / static_cast<double>(bins));
+  h.counts.assign(bins, 0);
+  return h;
+}
+
+void LogHistogram::add(double v) {
+  if (!(v >= lo)) {  // also catches NaN
+    ++underflow;
+    return;
+  }
+  if (v >= hi) {
+    ++overflow;
+    return;
+  }
+  auto b = static_cast<std::size_t>(std::log(v / lo) / std::log(base));
+  // log() rounding can push a value sitting on an edge one bucket over.
+  if (b >= counts.size()) b = counts.size() - 1;
+  ++counts[b];
+}
+
+double LogHistogram::edge(std::size_t i) const {
+  return lo * std::pow(base, static_cast<double>(i));
+}
+
+std::size_t LogHistogram::total() const {
+  std::size_t n = underflow + overflow;
+  for (std::size_t c : counts) n += c;
+  return n;
+}
+
+LogHistogram log_histogram(std::span<const double> sample, std::size_t bins) {
+  if (bins == 0) throw std::invalid_argument("log_histogram: zero bins");
+  double lo = 0.0;
+  double hi = 0.0;
+  for (double v : sample) {
+    if (v <= 0.0) continue;
+    if (lo == 0.0 || v < lo) lo = v;
+    if (v > hi) hi = v;
+  }
+  if (lo == 0.0) {
+    LogHistogram h = LogHistogram::make(1.0, 2.0, bins);
+    for (double v : sample) h.add(v);  // all non-positive -> underflow
+    return h;
+  }
+  // Widen a degenerate single-value range so the value lands in-range.
+  if (hi == lo) hi = lo * 2.0;
+  // Nudge hi so the true maximum falls in the last bucket, not overflow.
+  LogHistogram h = LogHistogram::make(lo, std::nextafter(hi, hi * 2.0), bins);
+  for (double v : sample) h.add(v);
+  return h;
+}
+
 }  // namespace atlc::util

@@ -1,0 +1,334 @@
+// Tests for atlc::obs — the virtual-time tracing and metrics layer
+// (DESIGN.md §12). Pins the subsystem's three contracts:
+//   1. determinism: for a fixed seed and the fixed cost model, the exported
+//      Chrome trace is byte-identical across repeated runs (and therefore
+//      across thread schedules);
+//   2. reconciliation: per-rank compute/comm Complete-event durations sum to
+//      exactly the CommStats second totals, and traced runs report the same
+//      makespan/stats as untraced ones;
+//   3. zero overhead off: an unbound Tracer emits no event and performs no
+//      allocation, so engine hooks are a pointer test when tracing is off.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "atlc/core/lcc.hpp"
+#include "atlc/obs/metrics.hpp"
+#include "atlc/obs/trace.hpp"
+#include "atlc/util/json.hpp"
+#include "test_support.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: every path through the replaceable operator new
+// bumps g_allocations, so a test can assert a code region allocates nothing.
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  ++g_allocations;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t n) {
+  ++g_allocations;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace atlc {
+namespace {
+
+using obs::CountingSink;
+using obs::EventPhase;
+using obs::MetricsRegistry;
+using obs::TraceCollector;
+using obs::TraceEvent;
+using obs::Tracer;
+
+/// Manually-advanced clock for driving a Tracer without an engine.
+struct FakeClock {
+  double t = 0.0;
+};
+
+double fake_clock(const void* p) { return static_cast<const FakeClock*>(p)->t; }
+
+core::EngineConfig traced_config(TraceCollector* trace, bool cache,
+                                 const graph::CSRGraph& g) {
+  core::EngineConfig cfg;  // default = fixed cost model = deterministic
+  cfg.trace = trace;
+  if (cache) {
+    cfg.use_cache = true;
+    cfg.cache_sizing =
+        core::CacheSizing::paper_default(g.num_vertices(), g.csr_bytes() / 2);
+  }
+  return cfg;
+}
+
+// ------------------------------------------------------------- tracer off --
+
+TEST(TracerOff, UnboundEmitsNothingAndAllocatesNothing) {
+  CountingSink sink;  // never bound: stays at zero
+  Tracer t;
+  ASSERT_FALSE(t.enabled());
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    t.begin("phase");
+    t.instant("hit", {"v", 7});
+    t.counter("ring", "in_flight", 3);
+    t.charge("compute", "compute", 1.0, 0.5);
+    t.transfer("get", 1.0, 2.0, 3, 64);
+    t.end("phase");
+  }
+  EXPECT_EQ(g_allocations.load(), before)
+      << "unbound Tracer hooks must not allocate";
+  EXPECT_EQ(sink.events(), 0u);
+}
+
+TEST(TracerOff, UnbindStopsRecording) {
+  CountingSink sink;
+  FakeClock clk;
+  Tracer t;
+  t.bind(&sink, 0, fake_clock, &clk);
+  t.instant("a");
+  t.unbind();
+  const std::uint64_t after_unbind = sink.events();
+  t.instant("b");
+  t.charge("comm", "comm", 0.0, 1.0);
+  EXPECT_EQ(sink.events(), after_unbind);
+}
+
+// ---------------------------------------------------------- span balance --
+
+TEST(TracerDeath, EndWithoutBeginAborts) {
+  testsupport::use_threadsafe_death_tests();
+  CountingSink sink;
+  FakeClock clk;
+  Tracer t;
+  t.bind(&sink, 0, fake_clock, &clk);
+  EXPECT_DEATH(t.end("never_opened"), "without a matching begin");
+}
+
+TEST(TracerDeath, MismatchedEndNameAborts) {
+  testsupport::use_threadsafe_death_tests();
+  CountingSink sink;
+  FakeClock clk;
+  Tracer t;
+  t.bind(&sink, 0, fake_clock, &clk);
+  t.begin("outer");
+  EXPECT_DEATH(t.end("inner"), "does not match the innermost begin");
+}
+
+// ----------------------------------------------------- charge coalescing --
+
+TEST(Tracer, CoalescesAbuttingSameCauseCharges) {
+  TraceCollector c;
+  c.prepare(1);
+  FakeClock clk;
+  Tracer t;
+  t.bind(&c, 0, fake_clock, &clk);
+  t.charge("compute", "compute", 0.0, 1.0);
+  t.charge("compute", "compute", 1.0, 0.5);   // abuts: extends the run
+  t.charge("compute", "compute", 2.0, 0.25);  // gap: new run
+  t.charge("comm", "flush_wait", 2.25, 0.5);  // cause change: new run
+  t.unbind();
+
+  const auto& events = c.events(0);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "compute");
+  EXPECT_DOUBLE_EQ(events[0].ts, 0.0);
+  EXPECT_DOUBLE_EQ(events[0].dur, 1.5);
+  EXPECT_STREQ(events[1].name, "compute");
+  EXPECT_DOUBLE_EQ(events[1].ts, 2.0);
+  EXPECT_DOUBLE_EQ(events[1].dur, 0.25);
+  EXPECT_STREQ(events[2].name, "flush_wait");
+  EXPECT_STREQ(events[2].cat, "comm");
+  EXPECT_DOUBLE_EQ(events[2].dur, 0.5);
+  EXPECT_DOUBLE_EQ(c.track_total(0, "compute"), 1.75);
+  EXPECT_DOUBLE_EQ(c.track_total(0, "comm"), 0.5);
+}
+
+// ------------------------------------------------------------ determinism --
+
+TEST(TraceDeterminism, RepeatedRunsExportIdenticalBytes) {
+  const auto g = testsupport::rmat_graph(8, 8, 42);
+  std::string first;
+  for (int run = 0; run < 3; ++run) {
+    TraceCollector trace;
+    const auto cfg = traced_config(&trace, /*cache=*/true, g);
+    (void)core::run_distributed_lcc(g, 4, cfg);
+    const std::string text = trace.chrome_trace_string();
+    if (run == 0) {
+      first = text;
+      EXPECT_GT(trace.total_events(), 0u);
+    } else {
+      // Byte equality across runs — and therefore across the thread
+      // schedules the rank threads happened to get.
+      EXPECT_EQ(text, first) << "trace bytes differ on run " << run;
+    }
+  }
+}
+
+TEST(TraceDeterminism, TracedRunMatchesUntracedRun) {
+  const auto g = testsupport::rmat_graph(8, 6, 7);
+  const auto plain = core::run_distributed_lcc(
+      g, 4, traced_config(nullptr, /*cache=*/true, g));
+  TraceCollector trace;
+  const auto traced = core::run_distributed_lcc(
+      g, 4, traced_config(&trace, /*cache=*/true, g));
+
+  // Tracing must not perturb the simulation: bit-equal virtual results.
+  EXPECT_EQ(traced.run.makespan, plain.run.makespan);
+  EXPECT_EQ(traced.global_triangles, plain.global_triangles);
+  const auto a = traced.run.total(), b = plain.run.total();
+  EXPECT_EQ(a.remote_gets, b.remote_gets);
+  EXPECT_EQ(a.remote_bytes, b.remote_bytes);
+  EXPECT_EQ(a.comm_seconds, b.comm_seconds);
+  EXPECT_EQ(a.compute_seconds, b.compute_seconds);
+}
+
+// --------------------------------------------------------- reconciliation --
+
+TEST(TraceReconciliation, SpanTotalsMatchCommStatsPerRank) {
+  const auto g = testsupport::rmat_graph(8, 8, 11);
+  TraceCollector trace;
+  const auto r = core::run_distributed_lcc(
+      g, 4, traced_config(&trace, /*cache=*/true, g));
+  ASSERT_EQ(trace.ranks(), 4u);
+  for (std::uint32_t rank = 0; rank < 4; ++rank) {
+    // The coalesced Complete events tile the rank's charged time exactly;
+    // only floating-point re-association separates the two sums.
+    EXPECT_NEAR(trace.track_total(rank, "compute"),
+                r.run.stats[rank].compute_seconds, 1e-12)
+        << "rank " << rank;
+    EXPECT_NEAR(trace.track_total(rank, "comm"),
+                r.run.stats[rank].comm_seconds, 1e-12)
+        << "rank " << rank;
+  }
+}
+
+TEST(TraceReconciliation, CacheInstantsMatchCacheStats) {
+  const auto g = testsupport::rmat_graph(8, 8, 5);
+  TraceCollector trace;
+  const auto r = core::run_distributed_lcc(
+      g, 4, traced_config(&trace, /*cache=*/true, g));
+  MetricsRegistry reg;
+  reg.ingest(trace);
+  const auto& counters = reg.counters();
+  const auto count = [&](const char* name) {
+    const auto it = counters.find(name);
+    return it == counters.end() ? std::uint64_t{0} : it->second;
+  };
+  const auto hits =
+      r.offsets_cache_total.hits + r.adj_cache_total.hits;
+  const auto misses =
+      r.offsets_cache_total.misses + r.adj_cache_total.misses;
+  EXPECT_EQ(count("cache_hit"), hits);
+  EXPECT_EQ(count("cache_miss") + count("cache_stale"), misses);
+}
+
+// ---------------------------------------------------------- export format --
+
+TEST(ChromeExport, EmptyCollectorIsValidJson) {
+  TraceCollector trace;
+  std::string error;
+  const auto doc = util::Json::parse(trace.chrome_trace_string(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_NE(doc->find("traceEvents"), nullptr);
+  EXPECT_EQ(doc->find("traceEvents")->size(), 1u);  // process_name metadata
+}
+
+TEST(ChromeExport, EventsWellFormedAndMonotonePerTrack) {
+  const auto g = testsupport::rmat_graph(7, 6, 3);
+  TraceCollector trace;
+  (void)core::run_distributed_lcc(g, 2,
+                                  traced_config(&trace, /*cache=*/true, g));
+  std::string error;
+  const auto doc = util::Json::parse(trace.chrome_trace_string(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const util::Json* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_GT(events->size(), 0u);
+
+  const std::string valid_ph = "BEiXCM";
+  std::map<std::uint64_t, double> last_ts;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const util::Json& e = events->at(i);
+    ASSERT_NE(e.find("name"), nullptr);
+    ASSERT_NE(e.find("ph"), nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    const std::string ph = e.find("ph")->as_string();
+    ASSERT_EQ(ph.size(), 1u);
+    EXPECT_NE(valid_ph.find(ph), std::string::npos) << "ph " << ph;
+    if (ph == "M") continue;  // metadata events carry no timestamp
+    ASSERT_NE(e.find("ts"), nullptr);
+    const auto tid =
+        static_cast<std::uint64_t>(e.find("tid")->as_number());
+    const double ts = e.find("ts")->as_number();
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end())
+      EXPECT_GE(ts, it->second) << "track " << tid << " event " << i;
+    last_ts[tid] = ts;
+    if (ph == "X") {
+      ASSERT_NE(e.find("dur"), nullptr);
+      EXPECT_GE(e.find("dur")->as_number(), 0.0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- metrics --
+
+TEST(Metrics, ChromeRoundTripMatchesDirectIngest) {
+  const auto g = testsupport::rmat_graph(7, 6, 9);
+  TraceCollector trace;
+  (void)core::run_distributed_lcc(g, 2,
+                                  traced_config(&trace, /*cache=*/true, g));
+
+  MetricsRegistry direct;
+  direct.ingest(trace);
+  MetricsRegistry round;
+  std::string error;
+  const auto doc = util::Json::parse(trace.chrome_trace_string(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  round.ingest_chrome(*doc);
+
+  // Counters are integer-exact across the JSON round trip; second totals
+  // only pass through the exporter's fixed-point microseconds.
+  EXPECT_EQ(direct.counters(), round.counters());
+  ASSERT_EQ(direct.cause_seconds().size(), round.cause_seconds().size());
+  for (const auto& [name, per_rank] : direct.cause_seconds()) {
+    const auto it = round.cause_seconds().find(name);
+    ASSERT_NE(it, round.cause_seconds().end()) << name;
+    ASSERT_EQ(it->second.size(), per_rank.size());
+    for (std::size_t i = 0; i < per_rank.size(); ++i)
+      EXPECT_NEAR(it->second[i], per_rank[i], 1e-9) << name << " rank " << i;
+  }
+  EXPECT_EQ(direct.top_rows(5), round.top_rows(5));
+}
+
+TEST(Metrics, ToJsonSerializesWithoutSamples) {
+  // An empty registry must still produce a complete document (the empty
+  // LogHistogram contract in util::stats backs this).
+  MetricsRegistry reg;
+  const util::Json j = reg.to_json();
+  EXPECT_NE(j.find("counters"), nullptr);
+  EXPECT_NE(j.find("causes"), nullptr);
+}
+
+}  // namespace
+}  // namespace atlc

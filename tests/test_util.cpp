@@ -137,6 +137,79 @@ TEST(Stats, HistogramMaxValueInLastBucket) {
   EXPECT_EQ(h.counts.back(), 1u);
 }
 
+TEST(Stats, LogHistogramRejectsBadRangeOrZeroBins) {
+  EXPECT_THROW((void)LogHistogram::make(0.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW((void)LogHistogram::make(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW((void)LogHistogram::make(1.0, 2.0, 0), std::invalid_argument);
+}
+
+TEST(Stats, LogHistogramEmptySampleSerializable) {
+  // Empty sample: zero-count buckets over [1, 2) so callers can serialize
+  // unconditionally.
+  const LogHistogram h = log_histogram({}, 4);
+  EXPECT_DOUBLE_EQ(h.lo, 1.0);
+  EXPECT_DOUBLE_EQ(h.hi, 2.0);
+  EXPECT_EQ(h.counts.size(), 4u);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.underflow, 0u);
+  EXPECT_EQ(h.overflow, 0u);
+}
+
+TEST(Stats, LogHistogramSingleElement) {
+  // A single positive value must land in a bucket, not over/underflow,
+  // even though min == max degenerates the range.
+  const std::vector<double> s{3.5};
+  const LogHistogram h = log_histogram(s, 8);
+  EXPECT_EQ(h.underflow, 0u);
+  EXPECT_EQ(h.overflow, 0u);
+  std::size_t in_buckets = 0;
+  for (auto c : h.counts) in_buckets += c;
+  EXPECT_EQ(in_buckets, 1u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(Stats, LogHistogramOverflowUnderflowBuckets) {
+  LogHistogram h = LogHistogram::make(1e-6, 1.0, 6);
+  h.add(1e-9);   // below lo
+  h.add(-3.0);   // non-positive
+  h.add(5.0);    // >= hi
+  h.add(1e-3);   // mid-range
+  EXPECT_EQ(h.underflow, 2u);
+  EXPECT_EQ(h.overflow, 1u);
+  std::size_t in_buckets = 0;
+  for (auto c : h.counts) in_buckets += c;
+  EXPECT_EQ(in_buckets, 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Stats, LogHistogramEdgesAreLogSpaced) {
+  const LogHistogram h = LogHistogram::make(1.0, 1024.0, 10);
+  // base = (1024/1)^(1/10) = 2: edges double every bucket.
+  EXPECT_NEAR(h.base, 2.0, 1e-12);
+  for (std::size_t i = 0; i + 1 <= 10; ++i)
+    EXPECT_NEAR(h.edge(i), std::pow(2.0, static_cast<double>(i)), 1e-9);
+  // Values route to the bucket whose [edge(i), edge(i+1)) contains them.
+  LogHistogram g = h;
+  g.add(1.0);
+  g.add(3.0);
+  g.add(1000.0);
+  EXPECT_EQ(g.counts[0], 1u);
+  EXPECT_EQ(g.counts[1], 1u);
+  EXPECT_EQ(g.counts[9], 1u);
+}
+
+TEST(Stats, LogHistogramSpansSampleRange) {
+  // The convenience builder keeps every positive sample inside the
+  // buckets: max is nudged into the last bucket, not overflow.
+  const std::vector<double> s{1e-6, 1e-4, 1e-2, 1.0};
+  const LogHistogram h = log_histogram(s, 12);
+  EXPECT_EQ(h.underflow, 0u);
+  EXPECT_EQ(h.overflow, 0u);
+  std::size_t in_buckets = 0;
+  for (auto c : h.counts) in_buckets += c;
+  EXPECT_EQ(in_buckets, s.size());
+}
+
 // ------------------------------------------------------------------ rng ---
 
 TEST(Rng, DeterministicForSeed) {

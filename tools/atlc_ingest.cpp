@@ -15,6 +15,7 @@
 #include <string>
 
 #include "atlc/ingest/pipeline.hpp"
+#include "atlc/obs/trace.hpp"
 #include "atlc/util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -40,6 +41,10 @@ int main(int argc, char** argv) {
                false);
   cli.add_string("tmp-dir", "directory for spill files ('' = alongside "
                  "the output)", "");
+  cli.add_string("trace",
+                 "write a Chrome trace-event JSON of the pipeline's stage "
+                 "spans (wall clock; not deterministic) to this path",
+                 "");
   if (!cli.parse(argc, argv)) return 1;
 
   if (cli.get_string("input").empty() || cli.get_string("output").empty()) {
@@ -77,6 +82,12 @@ int main(int argc, char** argv) {
     opt.relabel = ingest::RelabelMode::None;  // clean()'s seed-0 convention
   opt.remove_degree_lt2 = !cli.get_flag("keep-low-degree");
   opt.tmp_dir = cli.get_string("tmp-dir");
+  // Ingest spans carry wall timestamps (no virtual clock here), so the
+  // trace is informative but not byte-deterministic.
+  obs::TraceCollector trace;
+  trace.capture_wall = true;
+  const std::string& trace_path = cli.get_string("trace");
+  if (!trace_path.empty()) opt.trace = &trace;
 
   ingest::IngestReport rep;
   try {
@@ -85,6 +96,15 @@ int main(int argc, char** argv) {
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "atlc_ingest: %s\n", ex.what());
     return 1;
+  }
+  if (!trace_path.empty()) {
+    if (!trace.write_chrome_trace(trace_path)) {
+      std::fprintf(stderr, "atlc_ingest: cannot write %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "# trace: %zu events -> %s\n", trace.total_events(),
+                 trace_path.c_str());
   }
 
   const double mb = 1024.0 * 1024.0;

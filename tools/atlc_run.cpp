@@ -28,8 +28,11 @@
 #include "atlc/graph/generators.hpp"
 #include "atlc/graph/io.hpp"
 #include "atlc/ingest/snapshot.hpp"
+#include "atlc/obs/trace.hpp"
 #include "atlc/stream/stream_engine.hpp"
 #include "atlc/util/cli.hpp"
+#include "atlc/util/json.hpp"
+#include "atlc/util/recorder.hpp"
 #include "atlc/util/timer.hpp"
 
 namespace {
@@ -77,6 +80,35 @@ core::EngineConfig engine_config(const util::Cli& cli,
     cfg.cache_adaptive = cli.get_flag("adaptive");
   }
   return cfg;
+}
+
+/// --stats-json: the run's aggregate CommStats/CacheStats/makespan as one
+/// JSON document, for one-off runs without the bench harness.
+bool write_stats_json(const std::string& path, const std::string& algo,
+                      const rma::Runtime::Result& run,
+                      const clampi::CacheStats& offsets,
+                      const clampi::CacheStats& adj) {
+  util::Json doc = util::Json::object();
+  doc["algo"] = algo;
+  doc["ranks"] = run.stats.size();
+  doc["makespan_s"] = run.makespan;
+  doc["wall_seconds"] = run.wall_seconds;
+  doc["comm_total"] = util::to_json(run.total());
+  util::Json per_rank = util::Json::array();
+  for (const auto& s : run.stats) per_rank.push_back(util::to_json(s));
+  doc["comm_per_rank"] = std::move(per_rank);
+  util::Json clocks = util::Json::array();
+  for (const double c : run.clocks) clocks.push_back(c);
+  doc["clocks"] = std::move(clocks);
+  doc["offsets_cache"] = util::to_json(offsets);
+  doc["adj_cache"] = util::to_json(adj);
+  doc["peak_rss_bytes"] = util::peak_rss_bytes();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string text = doc.dump(2);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+                  std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
 }
 
 void print_run_summary(const rma::Runtime::Result& run,
@@ -127,6 +159,18 @@ int main(int argc, char** argv) {
   cli.add_string("scores", "clampi | degree (victim-selection scores)",
                  "degree");
   cli.add_flag("adaptive", "enable adaptive hash resizing", false);
+  cli.add_string("trace",
+                 "write a Chrome trace-event JSON (Perfetto-loadable) of "
+                 "the run's virtual-time spans to this path",
+                 "");
+  cli.add_flag("trace-wall",
+               "stamp trace events with wall-clock time too (machine-"
+               "dependent: forfeits byte-identical traces)",
+               false);
+  cli.add_string("stats-json",
+                 "write aggregated CommStats/CacheStats/makespan JSON to "
+                 "this path",
+                 "");
   cli.add_string("out", "output CSV path ('-' = stdout)", "-");
   cli.add_flag("stats-only", "skip the per-item CSV body", false);
   cli.add_string("convert",
@@ -222,6 +266,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   auto cfg = engine_config(cli, g);
+  // Tracing is wired only when requested: a null EngineConfig::trace keeps
+  // every hook down to a single pointer test, so untraced runs stay
+  // bit-identical to pre-obs builds.
+  obs::TraceCollector trace;
+  trace.capture_wall = cli.get_flag("trace-wall");
+  const std::string& trace_path = cli.get_string("trace");
+  const std::string& stats_path = cli.get_string("stats-json");
+  if (!trace_path.empty()) cfg.trace = &trace;
   if (snap) {
     // Out-of-core build: the static engine seek-reads each rank's slice
     // from the snapshot's extent index. The streaming engine rebuilds rows
@@ -243,6 +295,28 @@ int main(int argc, char** argv) {
   auto out = open_out(cli.get_string("out"));
 
   const std::string& algo = cli.get_string("algo");
+  // Shared artifact emission for every engine path (stream / lcc / tc /
+  // similarity): the Chrome trace and the --stats-json document.
+  const auto emit_artifacts = [&](const rma::Runtime::Result& run,
+                                  const clampi::CacheStats& offsets,
+                                  const clampi::CacheStats& adj) {
+    if (!trace_path.empty()) {
+      if (!trace.write_chrome_trace(trace_path)) {
+        std::fprintf(stderr, "atlc_run: cannot write %s\n",
+                     trace_path.c_str());
+        std::exit(1);
+      }
+      std::fprintf(stderr, "# trace: %zu events -> %s\n",
+                   trace.total_events(), trace_path.c_str());
+    }
+    if (!stats_path.empty()) {
+      if (!write_stats_json(stats_path, algo, run, offsets, adj)) {
+        std::fprintf(stderr, "atlc_run: cannot write %s\n",
+                     stats_path.c_str());
+        std::exit(1);
+      }
+    }
+  };
   // Friendly rejections for the 2D partition: the incremental stream
   // counter and the per-edge similarity analytics are 1D-only (the library
   // would abort on the same conditions via ATLC_CHECK).
@@ -285,6 +359,7 @@ int main(int argc, char** argv) {
     sopts.engine = cfg;
     sopts.partition = partition;
     const auto r = stream::run_streaming_lcc(g, batches, ranks, sopts);
+    emit_artifacts(r.run, r.offsets_cache_total, r.adj_cache_total);
     print_run_summary(r.run, r.adj_cache_total);
     std::fprintf(stderr,
                  "# cold count %.4f s | stream %.4f s over %zu batches | "
@@ -319,6 +394,7 @@ int main(int argc, char** argv) {
   }
   if (algo == "lcc") {
     const auto r = core::run_distributed_lcc(g, ranks, cfg, {}, partition);
+    emit_artifacts(r.run, r.offsets_cache_total, r.adj_cache_total);
     print_run_summary(r.run, r.adj_cache_total);
     std::fprintf(stderr, "# global triangles: %llu\n",
                  static_cast<unsigned long long>(r.global_triangles));
@@ -330,23 +406,27 @@ int main(int argc, char** argv) {
                      r.lcc[v]);
     }
   } else if (algo == "tc") {
-    const auto triangles = core::run_distributed_tc(g, ranks, cfg, {}, partition);
+    const auto r = core::run_distributed_tc_result(g, ranks, cfg, {}, partition);
+    emit_artifacts(r.run, r.offsets_cache_total, r.adj_cache_total);
     std::fprintf(out.get(), "global_triangles\n%llu\n",
-                 static_cast<unsigned long long>(triangles));
+                 static_cast<unsigned long long>(r.global_triangles));
   } else if (algo == "jaccard" || algo == "overlap" || algo == "adamic-adar") {
     // The per-edge similarity analytics share the slot layout and the
     // EdgeAnalyticStats block, so one emission path serves all three.
     std::vector<double> scores;
     if (algo == "jaccard") {
       auto r = core::run_distributed_jaccard(g, ranks, cfg, {}, partition);
+      emit_artifacts(r.run, r.offsets_cache_total, r.adj_cache_total);
       print_run_summary(r.run, r.adj_cache_total);
       scores = std::move(r.similarity);
     } else if (algo == "overlap") {
       auto r = core::run_distributed_overlap(g, ranks, cfg, {}, partition);
+      emit_artifacts(r.run, r.offsets_cache_total, r.adj_cache_total);
       print_run_summary(r.run, r.adj_cache_total);
       scores = std::move(r.score);
     } else {
       auto r = core::run_distributed_adamic_adar(g, ranks, cfg, {}, partition);
+      emit_artifacts(r.run, r.offsets_cache_total, r.adj_cache_total);
       print_run_summary(r.run, r.adj_cache_total);
       scores = std::move(r.score);
     }

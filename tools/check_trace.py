@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validate an atlc Chrome trace-event file (`atlc_run --trace` output).
+
+Checks the schema contract that DESIGN.md §12 promises and Perfetto/
+chrome://tracing rely on:
+
+  * the document is a JSON object with a `traceEvents` array;
+  * every event carries the required keys (name, ph, pid, tid; ts for
+    everything except `M` metadata events);
+  * `ph` is one of B / E / i / X / C / M;
+  * `X` (complete) events carry a non-negative `dur`;
+  * per (pid, tid) track, timestamps are monotonically non-decreasing in
+    array order (the exporter sorts per track, so any violation means an
+    exporter bug);
+  * B/E span events balance per track, with matching names on pop.
+
+Exits non-zero listing every violation (capped) so CI output stays short.
+
+Usage: tools/check_trace.py trace.json [more.json ...]
+
+Stdlib only — runs anywhere CI has a python3.
+"""
+
+import json
+import sys
+
+VALID_PH = {"B", "E", "i", "X", "C", "M"}
+MAX_REPORTED = 20
+
+
+def check_trace(path):
+    errors = []
+
+    def err(msg):
+        if len(errors) < MAX_REPORTED:
+            errors.append(f"{path}: {msg}")
+        elif len(errors) == MAX_REPORTED:
+            errors.append(f"{path}: ... further errors suppressed")
+
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as ex:
+        return [f"{path}: not readable as JSON: {ex}"]
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return [f"{path}: document must be an object with 'traceEvents'"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return [f"{path}: 'traceEvents' must be an array"]
+
+    last_ts = {}     # (pid, tid) -> last timestamp seen
+    span_stack = {}  # (pid, tid) -> [open span names]
+    counted = 0
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            err(f"event {i}: not an object")
+            continue
+        missing = [k for k in ("name", "ph", "pid", "tid") if k not in e]
+        if missing:
+            err(f"event {i}: missing keys {missing}")
+            continue
+        ph = e["ph"]
+        if ph not in VALID_PH:
+            err(f"event {i}: invalid ph {ph!r}")
+            continue
+        if ph == "M":
+            continue  # metadata: no timestamp required
+        counted += 1
+        if "ts" not in e:
+            err(f"event {i}: missing 'ts'")
+            continue
+        ts = e["ts"]
+        if not isinstance(ts, (int, float)):
+            err(f"event {i}: 'ts' is not a number")
+            continue
+        track = (e["pid"], e["tid"])
+        if track in last_ts and ts < last_ts[track]:
+            err(f"event {i}: ts {ts} < previous {last_ts[track]} on "
+                f"track pid={track[0]} tid={track[1]}")
+        last_ts[track] = ts
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                err(f"event {i}: X event needs a non-negative 'dur' "
+                    f"(got {dur!r})")
+        elif ph == "B":
+            span_stack.setdefault(track, []).append(e["name"])
+        elif ph == "E":
+            stack = span_stack.setdefault(track, [])
+            if not stack:
+                err(f"event {i}: E '{e['name']}' without an open B on "
+                    f"track pid={track[0]} tid={track[1]}")
+            elif stack[-1] != e["name"]:
+                err(f"event {i}: E '{e['name']}' closes B '{stack[-1]}'")
+                stack.pop()
+            else:
+                stack.pop()
+
+    for (pid, tid), stack in sorted(span_stack.items()):
+        if stack:
+            err(f"unclosed spans {stack} on track pid={pid} tid={tid}")
+
+    if not errors:
+        print(f"{path}: OK — {counted} events on {len(last_ts)} tracks")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    all_errors = []
+    for path in argv[1:]:
+        all_errors.extend(check_trace(path))
+    for msg in all_errors:
+        print(f"ERROR: {msg}", file=sys.stderr)
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
