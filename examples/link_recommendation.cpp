@@ -1,18 +1,23 @@
 // Link recommendation via triangle closing (the paper's second motivating
-// application, Section I: "clustering coefficient is used to locate
-// thematic relationships"). Classic friend-of-friend scoring: recommend the
-// non-neighbors sharing the most common neighbors — i.e. the links that
-// would close the most triangles — using the same intersection kernels the
-// LCC engine runs on (paper Algorithms 1-2 + the Eq. 3 hybrid rule).
-#include <algorithm>
+// application, Section I) served by the atlc::serve query layer: instead of
+// the original one-shot scan that recomputed candidate scores on every call
+// with no accounting, the queries run through serve::QueryEngine — priced
+// by the engine's cost model, memoized in the HotVertexCache, and reported
+// through a core::QueryStats block (DESIGN.md §13).
+//
+// The mini-serving session below asks for the same user's recommendations
+// twice in one epoch (the repeat is a hot-cache hit), applies an update
+// batch that rewires part of the user's neighborhood, and asks again — the
+// post-batch answers reflect the new graph exactly (epoch consistency).
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "atlc/graph/clean.hpp"
 #include "atlc/graph/degree_stats.hpp"
 #include "atlc/graph/generators.hpp"
 #include "atlc/graph/reference.hpp"
-#include "atlc/intersect/intersect.hpp"
+#include "atlc/serve/query_engine.hpp"
 #include "atlc/util/cli.hpp"
 #include "atlc/util/table.hpp"
 
@@ -23,6 +28,7 @@ int main(int argc, char** argv) {
   cli.add_int("vertices", "graph size", 2048);
   cli.add_int("user", "member to recommend for (-1 = busiest)", -1);
   cli.add_int("topk", "number of recommendations", 5);
+  cli.add_int("ranks", "simulated ranks", 4);
   if (!cli.parse(argc, argv)) return 1;
 
   auto edges = graph::generate_circles(
@@ -41,46 +47,65 @@ int main(int argc, char** argv) {
     const auto order = graph::vertices_by_degree_desc(g);
     user = order[order.size() / 4];
   }
-  const auto friends = g.neighbors(user);
-  std::printf("user v%u has %zu friends\n", user, friends.size());
+  const auto k = static_cast<std::uint32_t>(cli.get_int("topk"));
+  std::printf("user v%u has %zu friends\n", user, g.neighbors(user).size());
 
-  // Score every friend-of-friend candidate by common neighbors. The
-  // candidate set is exactly the 2-hop frontier; the score is the number of
-  // triangles the new link would close.
-  std::vector<std::uint64_t> score(g.num_vertices(), 0);
-  std::vector<graph::VertexId> candidates;
-  for (graph::VertexId f : friends) {
-    for (graph::VertexId fof : g.neighbors(f)) {
-      if (fof == user || g.has_edge(user, fof)) continue;
-      if (score[fof] == 0) {
-        candidates.push_back(fof);
-        // Hybrid intersection (Eq. 3) between the user's and candidate's
-        // adjacency lists counts the mutual friends.
-        score[fof] =
-            intersect::count_hybrid(friends, g.neighbors(fof));
-      }
-    }
+  // Epoch 0: common-neighbor and Adamic–Adar recommendations plus the
+  // user's LCC, the top-k repeated so the second ask hits the hot cache.
+  // The epoch's batch then rewires the user's first friendship, and epoch 1
+  // re-asks — served against the updated neighborhoods.
+  std::vector<serve::ServeEpoch> epochs(2);
+  epochs[0].queries = {{serve::QueryKind::TopKCommon, user, k},
+                       {serve::QueryKind::TopKAdamicAdar, user, k},
+                       {serve::QueryKind::Lcc, user, 0},
+                       {serve::QueryKind::TopKCommon, user, k}};
+  if (!g.neighbors(user).empty()) {
+    const graph::VertexId ex = g.neighbors(user).front();
+    epochs[0].updates.push_back({user, ex, stream::Op::Delete});
   }
-  std::printf("evaluated %zu friend-of-friend candidates\n",
-              candidates.size());
+  epochs[1].queries = {{serve::QueryKind::TopKCommon, user, k},
+                       {serve::QueryKind::Lcc, user, 0}};
 
-  std::sort(candidates.begin(), candidates.end(),
-            [&](auto a, auto b) { return score[a] > score[b]; });
+  serve::ServeOptions opts;
+  opts.hot_cache.entries = 256;
+  const serve::ServeResult res = serve::run_query_stream(
+      g, epochs, static_cast<std::uint32_t>(cli.get_int("ranks")), opts);
 
-  // LCC of candidates as a tie-breaker context: a high-LCC candidate sits
-  // inside a tight circle the user is entering.
   const auto ref = graph::reference_lcc(g);
-  util::Table table({"rank", "member", "mutual friends", "candidate LCC",
-                     "candidate degree"});
-  const auto topk = static_cast<std::size_t>(cli.get_int("topk"));
-  for (std::size_t i = 0; i < topk && i < candidates.size(); ++i) {
-    const auto c = candidates[i];
-    table.add_row({util::Table::fmt_int(i + 1),
-                   "v" + std::to_string(c),
-                   util::Table::fmt_int(score[c]),
-                   util::Table::fmt(ref.lcc[c], 3),
-                   util::Table::fmt_int(g.degree(c))});
-  }
-  table.print("recommendations for v" + std::to_string(user));
+  const auto print_topk = [&](const serve::QueryAnswer& a,
+                              const std::string& title) {
+    util::Table table({"rank", "member", "score", "candidate LCC",
+                       "candidate degree"});
+    for (std::size_t i = 0; i < a.topk.size(); ++i) {
+      const auto c = a.topk[i].v;
+      table.add_row({util::Table::fmt_int(i + 1), "v" + std::to_string(c),
+                     util::Table::fmt(a.topk[i].score, 3),
+                     util::Table::fmt(ref.lcc[c], 3),
+                     util::Table::fmt_int(g.degree(c))});
+    }
+    table.print(title + (a.hot_hit ? " [hot-cache hit]" : ""));
+  };
+
+  print_topk(res.answers[0], "common neighbors for v" + std::to_string(user));
+  print_topk(res.answers[1], "Adamic-Adar for v" + std::to_string(user));
+  std::printf("LCC(v%u) = %.4f\n", user, res.answers[2].lcc);
+  print_topk(res.answers[3], "repeat ask (same epoch)");
+  print_topk(res.answers[4], "common neighbors after un-friending");
+  std::printf("LCC(v%u) after batch = %.4f\n", user, res.answers[5].lcc);
+
+  // The QueryStats block the original example lacked: what each answer
+  // actually cost end to end on the virtual clock.
+  const core::QueryStats& qs = res.stats;
+  std::printf(
+      "\nserved %llu/%llu queries | virtual latency p50 %.2e s, p99 %.2e s\n",
+      static_cast<unsigned long long>(qs.answered),
+      static_cast<unsigned long long>(qs.submitted),
+      qs.latency_percentile(50), qs.latency_percentile(99));
+  std::printf(
+      "pipeline: %llu edges (%.0f%% remote) | hot cache: %llu/%llu hits\n",
+      static_cast<unsigned long long>(qs.edges_processed),
+      100.0 * qs.remote_edge_fraction(),
+      static_cast<unsigned long long>(res.hot_cache_total.hits),
+      static_cast<unsigned long long>(res.hot_cache_total.probes));
   return 0;
 }

@@ -1,0 +1,59 @@
+#pragma once
+
+// Per-query cost accounting for the serving layer (atlc::serve).
+//
+// QueryStats is the point-query sibling of EdgeAnalyticStats: where an edge
+// analytic reports one stats block for one pass over the whole edge stream,
+// a serving run reports the same aggregated SPMD/cache/pipeline block PLUS
+// the per-query dimension — admission counters, a virtual end-to-end
+// latency sample per answered query, and a QueryCost record attributing
+// pipeline work (edges driven, remote fetches, virtual service seconds) to
+// the individual query that caused it. Deriving from EdgeAnalyticStats is
+// load-bearing: the stats-symmetry audit in tests/test_pipeline.cpp runs on
+// the base block unchanged, so a counter added to CacheStats/CommStats
+// cannot silently drop out of the serving layer's aggregation either.
+// DESIGN.md §13.
+
+#include <cstdint>
+#include <vector>
+
+#include "atlc/core/edge_pipeline.hpp"
+#include "atlc/util/stats.hpp"
+
+namespace atlc::core {
+
+/// Cost attribution of one answered point query. Filled by diffing the
+/// owner rank's monotonic pipeline counters around the query's execution,
+/// so the fields price exactly the fetch/intersect work this query drove
+/// through the engine's cost model (hot-cache hits drive none).
+struct QueryCost {
+  std::uint64_t id = 0;        ///< submission index in the input stream
+  std::uint32_t epoch = 0;     ///< graph epoch the query executed against
+  std::uint64_t edges_processed = 0;  ///< pipeline items this query drove
+  std::uint64_t remote_edges = 0;     ///< of which needed a remote fetch
+  double seconds = 0.0;  ///< virtual service time (excludes queue wait)
+};
+
+/// The stats block every serving run reports: the shared edge-analytic
+/// aggregation (SPMD run record, per-rank + total cache counters, pipeline
+/// totals) plus the query-level accounting.
+struct QueryStats : EdgeAnalyticStats {
+  std::uint64_t submitted = 0;  ///< queries in the input stream
+  std::uint64_t answered = 0;   ///< admitted and executed
+  std::uint64_t rejected = 0;   ///< admission-control overflow rejections
+
+  /// Virtual end-to-end latency (epoch arrival -> completion, i.e. queue
+  /// wait + service) of each answered query, in submission order.
+  std::vector<double> latencies;
+
+  /// Per-query cost records, in submission order (answered queries only).
+  std::vector<QueryCost> per_query;
+
+  /// Latency percentile over `latencies` (p in [0, 100]); 0 when no query
+  /// was answered. p50/p99 are the serving scenario's headline metrics.
+  [[nodiscard]] double latency_percentile(double p) const {
+    return latencies.empty() ? 0.0 : util::percentile(latencies, p);
+  }
+};
+
+}  // namespace atlc::core

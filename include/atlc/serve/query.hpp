@@ -1,0 +1,77 @@
+#pragma once
+
+// Vocabulary types of the serving layer (DESIGN.md §13).
+//
+// A serving workload is a sequence of ServeEpochs. Epoch e's queries arrive
+// together at the epoch-open barrier (their virtual arrival time), are
+// answered against the graph state with update batches 0..e-1 committed,
+// and then epoch e's own batch commits — queries never observe partially
+// applied batches. That epoch-consistency contract is what the parity
+// matrix in tests/test_serve.cpp pins down: every answer must be
+// bit-identical to a from-scratch run of the same analytic on the epoch's
+// snapshot.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "atlc/graph/types.hpp"
+#include "atlc/stream/update.hpp"
+
+namespace atlc::serve {
+
+using graph::VertexId;
+
+enum class QueryKind : std::uint8_t {
+  Lcc,            ///< local clustering coefficient of v
+  TopKCommon,     ///< top-k friend-of-friend candidates by common neighbors
+  TopKAdamicAdar  ///< top-k candidates by Adamic–Adar (1/ln deg weighting)
+};
+
+inline constexpr std::size_t kNumQueryKinds = 3;
+
+[[nodiscard]] const char* query_kind_name(QueryKind kind);
+
+struct Query {
+  QueryKind kind = QueryKind::Lcc;
+  VertexId v = 0;
+  std::uint32_t k = 8;  ///< result size for TopK kinds; ignored for Lcc
+};
+
+/// One ranked candidate of a TopK query. Ordering contract: score
+/// descending, vertex id ascending on ties — a total order, so answers are
+/// unique and byte-comparable.
+struct Recommendation {
+  VertexId v = 0;
+  double score = 0.0;
+
+  friend bool operator==(const Recommendation&, const Recommendation&) =
+      default;
+};
+
+struct QueryAnswer {
+  std::uint64_t id = 0;  ///< submission index in the input stream
+  QueryKind kind = QueryKind::Lcc;
+  VertexId v = 0;
+  std::uint32_t k = 0;
+  std::uint32_t epoch = 0;  ///< graph epoch the query was answered against
+  bool rejected = false;    ///< dropped by admission control, no answer
+  bool hot_hit = false;     ///< served from the HotVertexCache memo
+  double lcc = 0.0;                   ///< Lcc kinds
+  std::vector<Recommendation> topk;   ///< TopK kinds
+  double arrival = 0.0;     ///< virtual time: epoch-open barrier
+  double completion = 0.0;  ///< virtual time: answer materialized
+
+  /// Virtual end-to-end latency: queue wait at the owner rank + service.
+  [[nodiscard]] double latency() const { return completion - arrival; }
+};
+
+/// One serving epoch: the queries that arrived since the previous batch
+/// committed, then the update batch that closes the epoch. Either side may
+/// be empty (pure-query or pure-update epochs).
+struct ServeEpoch {
+  std::vector<Query> queries;
+  stream::Batch updates;
+};
+
+}  // namespace atlc::serve

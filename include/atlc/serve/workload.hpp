@@ -1,0 +1,61 @@
+#pragma once
+
+// Synthetic serving workloads: seeded Zipf-skewed point-query streams
+// interleaved with stream::generate_batches update batches (DESIGN.md §13).
+//
+// Query traffic skew is decoupled from degree skew on purpose: the Zipf
+// rank-to-vertex mapping is a seeded permutation, so the hottest query
+// vertex is usually NOT the highest-degree vertex. That is the regime
+// where HotVertexCache earns its keep over the degree-keyed HubReplica
+// tier — and the regime CHIME's IdxCache was designed for.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "atlc/graph/csr.hpp"
+#include "atlc/serve/query.hpp"
+#include "atlc/util/rng.hpp"
+
+namespace atlc::serve {
+
+/// Zipf(s) sampler over [0, n): P(rank i) ∝ 1/(i+1)^s, with a seeded
+/// permutation mapping ranks to vertex ids. s = 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(VertexId n, double skew, std::uint64_t seed);
+
+  [[nodiscard]] VertexId sample(util::Xoshiro256& rng) const;
+
+  /// The vertex receiving Zipf rank `r` (r = 0 is the hottest).
+  [[nodiscard]] VertexId vertex_of_rank(std::size_t r) const {
+    return vertex_of_rank_[r];
+  }
+
+ private:
+  std::vector<double> cdf_;
+  std::vector<VertexId> vertex_of_rank_;
+};
+
+struct QueryWorkloadConfig {
+  std::size_t num_epochs = 4;
+  std::size_t queries_per_epoch = 256;
+  double zipf_skew = 1.0;  ///< 0 = uniform traffic
+  std::uint32_t topk = 8;
+  /// Query-kind mix: P(Lcc) = lcc_fraction, P(TopKCommon) =
+  /// common_fraction, remainder TopKAdamicAdar.
+  double lcc_fraction = 0.5;
+  double common_fraction = 0.3;
+  /// Update side, forwarded to stream::generate_batches. batch_size = 0
+  /// yields pure-query epochs.
+  std::size_t batch_size = 64;
+  double insert_fraction = 0.7;
+  std::uint64_t seed = 1;
+};
+
+/// Deterministic function of (g, cfg): same inputs, same stream, on every
+/// rank count — the basis of the admission-determinism test.
+[[nodiscard]] std::vector<ServeEpoch> generate_query_stream(
+    const graph::CSRGraph& g, const QueryWorkloadConfig& cfg);
+
+}  // namespace atlc::serve

@@ -30,6 +30,15 @@ struct EffectiveBatch {
   [[nodiscard]] std::uint64_t deletions() const { return deleted.size(); }
 };
 
+/// The sorted, deduplicated set of vertices whose CSR rows an effective
+/// batch rebuilds (both endpoints of every effective op) — the epoch
+/// interleaving hook consumers key invalidation on: apply_to_rows touches
+/// exactly these rows, and the serving layer's HotVertexCache combines
+/// this set with a pre-batch neighborhood test (DESIGN.md §13). Identical
+/// on every rank, since the effective sets are replicated.
+[[nodiscard]] std::vector<graph::VertexId> touched_vertices(
+    const EffectiveBatch& eff);
+
 /// Per-rank batch applier. Owns no graph state; mutates the rank's
 /// DistGraph rows in place and republishes its windows.
 class BatchApplier {

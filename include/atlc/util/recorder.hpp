@@ -7,6 +7,7 @@
 
 #include "atlc/clampi/config.hpp"
 #include "atlc/rma/comm_stats.hpp"
+#include "atlc/serve/hot_cache.hpp"
 #include "atlc/util/json.hpp"
 #include "atlc/util/stats.hpp"
 
@@ -57,6 +58,7 @@ class Recorder {
 /// JSON serializers for the counters every bench report carries.
 [[nodiscard]] Json to_json(const rma::CommStats& s);
 [[nodiscard]] Json to_json(const clampi::CacheStats& s);
+[[nodiscard]] Json to_json(const serve::HotCacheStats& s);
 [[nodiscard]] Json to_json(const Summary& s);
 
 /// Peak resident set size of this process in bytes (VmHWM from

@@ -1,0 +1,380 @@
+#include "atlc/serve/query_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "atlc/core/dist_graph.hpp"
+#include "atlc/core/edge_pipeline.hpp"
+#include "atlc/graph/hub_replica.hpp"
+#include "atlc/graph/reference.hpp"
+#include "atlc/intersect/intersect.hpp"
+#include "atlc/stream/batch_applier.hpp"
+#include "atlc/util/check.hpp"
+
+namespace atlc::serve {
+
+namespace {
+
+// ---- Scoring helpers shared by the engine kernels and answer_reference.
+// Sharing them is what makes the parity contract a bit-for-bit one: both
+// paths accumulate a candidate's contributions in ascending friend order
+// and run the identical top-k selection, so even the Adamic–Adar double
+// sums agree exactly.
+
+/// Adamic–Adar weight of a common neighbor of degree `deg`; degree-0/1
+/// vertices contribute nothing (ln 1 = 0 would divide by zero).
+double aa_weight(std::size_t deg) {
+  return deg >= 2 ? 1.0 / std::log(static_cast<double>(deg)) : 0.0;
+}
+
+/// Fold one friend's adjacency into the candidate scores: every c in
+/// `adj_f` that is neither v itself nor already a neighbor of v gains `w`.
+/// Zero-weight friends contribute no candidates at all (not 0.0-scored
+/// entries) — both paths must agree on the candidate *set*, not just the
+/// scores, because top-k padding draws from it.
+void accumulate_candidates(VertexId v, std::span<const VertexId> adj_v,
+                           std::span<const VertexId> adj_f, double w,
+                           std::map<VertexId, double>& scores) {
+  if (w == 0.0) return;
+  for (const VertexId c : adj_f) {
+    if (c == v) continue;
+    if (std::binary_search(adj_v.begin(), adj_v.end(), c)) continue;
+    scores[c] += w;
+  }
+}
+
+/// Ordering contract of query.hpp: score descending, id ascending on ties.
+/// Total order over distinct candidates, so the selection is unique.
+std::vector<Recommendation> select_topk(
+    const std::map<VertexId, double>& scores, std::uint32_t k) {
+  std::vector<Recommendation> all;
+  all.reserve(scores.size());
+  for (const auto& [c, s] : scores) all.push_back({c, s});
+  const auto kk = std::min<std::size_t>(k, all.size());
+  std::partial_sort(all.begin(),
+                    all.begin() + static_cast<std::ptrdiff_t>(kk), all.end(),
+                    [](const Recommendation& a, const Recommendation& b) {
+                      return a.score > b.score ||
+                             (a.score == b.score && a.v < b.v);
+                    });
+  all.resize(kk);
+  return all;
+}
+
+/// Does a committed batch potentially change v's memoized answers? True
+/// iff v is an endpoint of an effective op, or an op endpoint lies in v's
+/// PRE-batch neighborhood (DESIGN.md §13 derives why this covers LCC and
+/// both top-k scores, including the Adamic–Adar degree weights). The
+/// endpoint test uses the replicated touched-vertex set; the neighbor test
+/// binary-searches v's local row, which must still be the pre-batch row —
+/// the engine invalidates between adjudicate and apply_to_rows.
+bool batch_affects(VertexId v, std::span<const VertexId> touched,
+                   const stream::EffectiveBatch& eff,
+                   std::span<const VertexId> row) {
+  if (std::binary_search(touched.begin(), touched.end(), v)) return true;
+  for (const stream::CanonicalUpdate& op : eff.ops) {
+    if (std::binary_search(row.begin(), row.end(), op.a)) return true;
+    if (std::binary_search(row.begin(), row.end(), op.b)) return true;
+  }
+  return false;
+}
+
+/// Answer one admitted query at its owner rank: probe the hot cache, on a
+/// miss drive the (lv, neighbor) work list through the pipeline's prefetch
+/// ring, memoize, and diff the pipeline counters into the QueryCost.
+void answer_one(rma::RankCtx& ctx, const core::DistGraph& dg,
+                core::EdgePipeline& pipeline, const core::EngineConfig& cfg,
+                HotVertexCache& hot, const Query& q, double epoch_open,
+                QueryAnswer& a, core::QueryCost& qc) {
+  obs::Tracer& tr = ctx.tracer();
+  a.arrival = epoch_open;
+  const double t0 = ctx.now();
+  const core::PipelineRankStats before = pipeline.harvest();
+  if (tr.enabled()) {
+    tr.begin("query");
+    tr.instant("query_arrival", {"v", static_cast<std::uint64_t>(q.v)});
+  }
+
+  bool served = false;
+  if (hot.enabled()) {
+    // One set-associative lookup: priced as `ways` probes into the bucket.
+    ctx.charge_compute(cfg.cost.seconds_probes(hot.config().ways, 2));
+    const HotVertexCache::Probe p = hot.probe(q.v, q.kind, q.k);
+    if (p.hit) {
+      a.hot_hit = true;
+      if (q.kind == QueryKind::Lcc) {
+        a.lcc = p.lcc;
+      } else {
+        a.topk.assign(p.topk.begin(), p.topk.end());
+      }
+      served = true;
+    }
+  }
+
+  if (!served) {
+    const VertexId lv = dg.partition.local_index(q.v);
+    const std::span<const VertexId> adj_v = dg.local_neighbors(lv);
+    std::vector<std::pair<VertexId, VertexId>> work;
+    work.reserve(adj_v.size());
+    for (const VertexId f : adj_v) work.emplace_back(lv, f);
+
+    if (q.kind == QueryKind::Lcc) {
+      std::uint64_t tri = 0;
+      pipeline.run_over(
+          work, [&](VertexId, VertexId, std::span<const VertexId> av,
+                    std::span<const VertexId> aj) {
+            tri += intersect::count_common(av, aj, cfg.method);
+            ctx.charge_compute(
+                cfg.cost.seconds(cfg.method, av.size(), aj.size()));
+          });
+      a.lcc = graph::lcc_score(tri, static_cast<VertexId>(adj_v.size()));
+      hot.insert_lcc(q.v, a.lcc);
+    } else {
+      const bool adamic = q.kind == QueryKind::TopKAdamicAdar;
+      std::map<VertexId, double> scores;
+      pipeline.run_over(
+          work, [&](VertexId, VertexId, std::span<const VertexId> av,
+                    std::span<const VertexId> aj) {
+            // aj is the friend's full row (1D partitions), so its size IS
+            // the friend's degree — the Adamic–Adar weight needs it.
+            accumulate_candidates(q.v, av, aj,
+                                  adamic ? aa_weight(aj.size()) : 1.0,
+                                  scores);
+            // The scan is |adj_f| membership probes into the sorted adj_v.
+            ctx.charge_compute(
+                cfg.cost.seconds_probes(aj.size(), av.size()));
+          });
+      a.topk = select_topk(scores, q.k);
+      // Bounded-heap selection over the candidate set.
+      ctx.charge_compute(cfg.cost.seconds_probes(
+          scores.size(), std::max<std::size_t>(q.k, 2)));
+      hot.insert_topk(q.v, q.kind, q.k, a.topk);
+    }
+  }
+
+  a.completion = ctx.now();
+  if (tr.enabled()) tr.end("query");
+
+  const core::PipelineRankStats after = pipeline.harvest();
+  qc.id = a.id;
+  qc.epoch = a.epoch;
+  qc.edges_processed = after.edges_processed - before.edges_processed;
+  qc.remote_edges = after.remote_edges - before.remote_edges;
+  qc.seconds = a.completion - t0;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const graph::CSRGraph& g, ServeOptions options)
+    : g_(&g), options_(std::move(options)) {}
+
+ServeResult QueryEngine::run(std::span<const ServeEpoch> epochs,
+                             std::uint32_t ranks) const {
+  const graph::CSRGraph& g = *g_;
+  ATLC_CHECK(g.directedness() == graph::Directedness::Undirected,
+             "serve: undirected graphs only (LCC and the recommendation "
+             "scores assume symmetric neighborhoods)");
+  ATLC_CHECK(options_.partition != graph::PartitionKind::Grid2D,
+             "serve: point queries fetch whole adjacency rows; Grid2D's "
+             "segment ownership is not plumbed through the query kernels");
+  core::EngineConfig cfg = options_.engine;
+  cfg.upper_triangle_only = false;  // per-vertex analytics need full rows
+
+  const graph::Partition partition =
+      graph::make_partition(g, options_.partition, ranks);
+  const graph::HubReplica hub_proto =
+      graph::HubReplica::build(g, cfg.hub_fraction);
+
+  ServeResult out;
+  out.epochs.resize(epochs.size());
+  if (cfg.track_remote_reads)
+    out.stats.remote_reads.assign(g.num_vertices(), 0);
+
+  // Identity fields and admission verdicts are a pure function of the
+  // input stream — computed once here, identically for every rank count,
+  // which is exactly the determinism the admission test pins down.
+  std::uint64_t total = 0;
+  for (const ServeEpoch& e : epochs) total += e.queries.size();
+  out.answers.resize(total);
+  {
+    std::uint64_t id = 0;
+    for (std::size_t e = 0; e < epochs.size(); ++e) {
+      for (std::size_t qi = 0; qi < epochs[e].queries.size(); ++qi, ++id) {
+        const Query& q = epochs[e].queries[qi];
+        QueryAnswer& a = out.answers[id];
+        a.id = id;
+        a.kind = q.kind;
+        a.v = q.v;
+        a.k = q.kind == QueryKind::Lcc ? 0 : q.k;
+        a.epoch = static_cast<std::uint32_t>(e);
+        a.rejected = qi >= options_.admission_capacity;
+      }
+    }
+  }
+
+  std::vector<core::PipelineRankStats> rank_stats(ranks);
+  out.hot_cache_ranks.resize(ranks);
+  std::vector<core::QueryCost> costs(total);
+
+  rma::Runtime::Options ropts;
+  ropts.ranks = ranks;
+  ropts.net = options_.net;
+  ropts.trace = cfg.trace;
+  out.stats.run = rma::Runtime::run(ropts, [&](rma::RankCtx& ctx) {
+    ctx.tracer().begin("build_graph");
+    core::DistGraph dg =
+        core::build_dist_graph(ctx, g, partition, &hub_proto,
+                               cfg.slice_source);
+    core::EdgePipeline pipeline(ctx, dg, cfg);
+    ctx.barrier();  // align clocks: everything before here is build cost
+    ctx.tracer().end("build_graph");
+    if (ctx.rank() == 0) out.build_makespan = ctx.now();
+
+    stream::BatchApplier applier(ctx, dg, cfg);
+    HotVertexCache hot(options_.hot_cache);
+
+    std::uint64_t id_base = 0;
+    std::uint64_t hot_hits_prev = 0;
+    for (std::size_t e = 0; e < epochs.size(); ++e) {
+      const ServeEpoch& ep = epochs[e];
+      ctx.tracer().begin("serve_epoch");
+      const double epoch_open = ctx.now();  // barrier-aligned on all ranks
+
+      // ---- Query phase: answers reflect batches 0..e-1 only. Owned
+      // queries run sequentially, so completion times include the rank's
+      // virtual queueing delay behind earlier queries of the same epoch.
+      ctx.tracer().begin("queries");
+      const std::size_t accepted =
+          std::min<std::size_t>(ep.queries.size(),
+                                options_.admission_capacity);
+      for (std::size_t qi = 0; qi < ep.queries.size(); ++qi) {
+        QueryAnswer& a = out.answers[id_base + qi];
+        if (qi >= accepted) {
+          // Admission overflow: bounced at epoch open, no service time.
+          if (ctx.rank() == 0) {
+            a.arrival = epoch_open;
+            a.completion = epoch_open;
+          }
+          continue;
+        }
+        const Query& q = ep.queries[qi];
+        if (partition.owner(q.v) != ctx.rank()) continue;
+        answer_one(ctx, dg, pipeline, cfg, hot, q, epoch_open, a,
+                   costs[id_base + qi]);
+      }
+      ctx.tracer().end("queries");
+      ctx.barrier();  // read phase closed: rows may change after this
+      const double queries_done = ctx.now();
+
+      // ---- Update phase: adjudicate (collective), invalidate the hot
+      // cache against PRE-batch neighborhoods, then commit the rows.
+      ctx.tracer().begin("update");
+      const stream::EffectiveBatch eff = applier.adjudicate(ep.updates);
+      std::uint64_t local_rows = 0;
+      if (!eff.empty()) {  // replicated verdicts: all ranks agree
+        const std::vector<VertexId> touched = stream::touched_vertices(eff);
+        std::uint64_t scanned = 0;
+        hot.invalidate_if(
+            [&](VertexId v) {
+              return batch_affects(
+                  v, touched, eff,
+                  dg.local_neighbors(partition.local_index(v)));
+            },
+            &scanned);
+        // Each scanned entry costs up to 2|ops| membership probes into its
+        // row plus one probe of the touched set.
+        ctx.charge_compute(cfg.cost.seconds_probes(
+            scanned * (2 * eff.ops.size() + 1),
+            std::max<std::size_t>(touched.size(), 2)));
+        local_rows = applier.apply_to_rows(eff);  // refreshes both windows
+      }
+      hot.begin_epoch(static_cast<std::uint32_t>(e) + 1);
+      const std::uint64_t rows_total =
+          eff.empty() ? 0 : ctx.allreduce_sum(local_rows);
+      ctx.tracer().end("update");
+      ctx.barrier();  // commit: epoch e+1 state visible everywhere
+
+      const std::uint64_t hot_hits_now = hot.stats().hits;
+      const std::uint64_t epoch_hits =
+          ctx.allreduce_sum(hot_hits_now - hot_hits_prev);
+      hot_hits_prev = hot_hits_now;
+      if (ctx.rank() == 0) {
+        EpochOutcome& eo = out.epochs[e];
+        eo.submitted = ep.queries.size();
+        eo.accepted = accepted;
+        eo.rejected = ep.queries.size() - accepted;
+        eo.hot_hits = epoch_hits;
+        eo.effective_insertions = eff.insertions();
+        eo.effective_deletions = eff.deletions();
+        eo.rows_rebuilt = rows_total;
+        eo.query_makespan = queries_done - epoch_open;
+        eo.update_makespan = ctx.now() - queries_done;
+      }
+      if (ctx.tracer().enabled()) {
+        ctx.tracer().counter("hot_cache", "hits", hot.stats().hits);
+        ctx.tracer().counter("hot_cache", "misses", hot.stats().misses);
+      }
+      ctx.tracer().end("serve_epoch");
+      id_base += ep.queries.size();
+    }
+
+    rank_stats[ctx.rank()] = pipeline.harvest();
+    rank_stats[ctx.rank()].busy_seconds = ctx.now();
+    out.hot_cache_ranks[ctx.rank()] = hot.stats();
+    if (ctx.rank() == 0)
+      out.serve_makespan = ctx.now() - out.build_makespan;
+    ctx.barrier();  // teardown synchronisation
+  });
+
+  for (core::PipelineRankStats& rs : rank_stats)
+    out.stats.absorb(std::move(rs));
+  for (const HotCacheStats& h : out.hot_cache_ranks) out.hot_cache_total += h;
+
+  out.stats.submitted = total;
+  for (const QueryAnswer& a : out.answers) {
+    if (a.rejected) {
+      ++out.stats.rejected;
+      continue;
+    }
+    ++out.stats.answered;
+    out.stats.latencies.push_back(a.latency());
+    out.stats.per_query.push_back(costs[a.id]);
+  }
+  return out;
+}
+
+ServeResult run_query_stream(const graph::CSRGraph& g,
+                             std::span<const ServeEpoch> epochs,
+                             std::uint32_t ranks,
+                             const ServeOptions& options) {
+  return QueryEngine(g, options).run(epochs, ranks);
+}
+
+QueryAnswer answer_reference(const graph::CSRGraph& g, const Query& q) {
+  QueryAnswer a;
+  a.kind = q.kind;
+  a.v = q.v;
+  a.k = q.kind == QueryKind::Lcc ? 0 : q.k;
+  const std::span<const VertexId> adj_v = g.neighbors(q.v);
+  if (q.kind == QueryKind::Lcc) {
+    std::uint64_t tri = 0;
+    for (const VertexId f : adj_v)
+      tri += intersect::count_common(adj_v, g.neighbors(f),
+                                     intersect::Method::Hybrid);
+    a.lcc = graph::lcc_score(tri, static_cast<VertexId>(adj_v.size()));
+    return a;
+  }
+  const bool adamic = q.kind == QueryKind::TopKAdamicAdar;
+  std::map<VertexId, double> scores;
+  for (const VertexId f : adj_v) {
+    const std::span<const VertexId> adj_f = g.neighbors(f);
+    accumulate_candidates(q.v, adj_v, adj_f,
+                          adamic ? aa_weight(adj_f.size()) : 1.0, scores);
+  }
+  a.topk = select_topk(scores, q.k);
+  return a;
+}
+
+}  // namespace atlc::serve

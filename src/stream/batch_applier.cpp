@@ -15,6 +15,18 @@ constexpr std::size_t kOpWords = 3;
 
 }  // namespace
 
+std::vector<graph::VertexId> touched_vertices(const EffectiveBatch& eff) {
+  std::vector<graph::VertexId> out;
+  out.reserve(eff.ops.size() * 2);
+  for (const CanonicalUpdate& op : eff.ops) {
+    out.push_back(op.a);
+    out.push_back(op.b);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 EffectiveBatch BatchApplier::adjudicate(const Batch& batch) {
   const auto& part = dg_->partition;
   const std::uint32_t p = ctx_->num_ranks();

@@ -90,6 +90,23 @@ Json to_json(const clampi::CacheStats& s) {
   return j;
 }
 
+Json to_json(const serve::HotCacheStats& s) {
+  Json j = Json::object();
+  j["probes"] = s.probes;
+  j["hits"] = s.hits;
+  j["misses"] = s.misses;
+  j["stale_misses"] = s.stale_misses;
+  j["short_misses"] = s.short_misses;
+  j["inserts"] = s.inserts;
+  j["updates"] = s.updates;
+  j["evictions"] = s.evictions;
+  j["decrements"] = s.decrements;
+  j["rejects"] = s.rejects;
+  j["invalidated"] = s.invalidated;
+  j["hit_rate"] = s.hit_rate();
+  return j;
+}
+
 Json to_json(const Summary& s) {
   Json j = Json::object();
   j["n"] = static_cast<std::uint64_t>(s.n);

@@ -16,6 +16,8 @@
 #include "atlc/core/lcc.hpp"
 #include "atlc/core/similarity.hpp"
 #include "atlc/graph/reference.hpp"
+#include "atlc/serve/query_engine.hpp"
+#include "atlc/serve/workload.hpp"
 #include "atlc/util/recorder.hpp"
 #include "test_support.hpp"
 
@@ -469,6 +471,66 @@ TEST(AnalyticStats, PerRankCountersSumToTotalsForEveryAnalytic) {
   ASSERT_NE(jt.find("segment_gets"), nullptr);
   EXPECT_EQ(static_cast<std::uint64_t>(jt.find("segment_gets")->as_number()),
             grid.run.total().segment_gets);
+}
+
+TEST(AnalyticStats, ServeQueryStatsAggregateLikeEdgeAnalytics) {
+  // QueryStats derives from EdgeAnalyticStats precisely so the audit above
+  // runs on the serving layer unchanged: a counter added to CommStats or
+  // CacheStats cannot silently drop out of QueryEngine's aggregation.
+  const CSRGraph g = rmat_graph(8, 8, 61);
+  serve::QueryWorkloadConfig wc;
+  wc.num_epochs = 3;
+  wc.queries_per_epoch = 32;
+  wc.batch_size = 16;
+  wc.seed = 5;
+  const auto epochs = serve::generate_query_stream(g, wc);
+
+  serve::ServeOptions opts;
+  opts.engine.use_cache = true;
+  opts.engine.cache_sizing = CacheSizing::paper_default(g.num_vertices(),
+                                                        1 << 18);
+  const serve::ServeResult res = serve::run_query_stream(g, epochs, 4, opts);
+  expect_aggregation_consistent(res.stats, "serve");
+
+  // The query-level dimension on top of the base block: identity and
+  // latency accounting close over the stream...
+  EXPECT_EQ(res.stats.submitted, 3u * 32u);
+  EXPECT_EQ(res.stats.submitted, res.stats.answered + res.stats.rejected);
+  EXPECT_EQ(res.stats.latencies.size(), res.stats.answered);
+  EXPECT_EQ(res.stats.per_query.size(), res.stats.answered);
+  for (const double l : res.stats.latencies) EXPECT_GE(l, 0.0);
+  EXPECT_GE(res.stats.latency_percentile(99),
+            res.stats.latency_percentile(50));
+
+  // ...and with the hot cache off, every pipeline item belongs to exactly
+  // one query, so the per-query cost records sum to the pipeline totals.
+  std::uint64_t edges = 0;
+  std::uint64_t remote = 0;
+  for (const QueryCost& qc : res.stats.per_query) {
+    edges += qc.edges_processed;
+    remote += qc.remote_edges;
+  }
+  EXPECT_EQ(edges, res.stats.edges_processed);
+  EXPECT_EQ(remote, res.stats.remote_edges);
+
+  // Hot-cache totals are audited the same field-wise way as CLaMPI's
+  // (to_json-based: a field added to HotCacheStats but missed by += fails).
+  serve::ServeOptions hot = opts;
+  hot.hot_cache.entries = 64;
+  const serve::ServeResult hres =
+      serve::run_query_stream(g, epochs, 4, hot);
+  const util::Json jt = util::to_json(hres.hot_cache_total);
+  const auto sums = summed_fields(hres.hot_cache_ranks);
+  ASSERT_EQ(jt.items().size(), sums.size());
+  for (const auto& [key, val] : jt.items()) {
+    if (key.ends_with("_rate")) continue;
+    const auto it = std::find_if(sums.begin(), sums.end(), [&](const auto& kv) {
+      return kv.first == key;
+    });
+    ASSERT_NE(it, sums.end()) << "hot_cache field " << key;
+    EXPECT_DOUBLE_EQ(val.as_number(), it->second)
+        << "hot_cache field " << key;
+  }
 }
 
 }  // namespace

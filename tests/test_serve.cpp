@@ -1,0 +1,652 @@
+// Serving-layer lockdown (ISSUE 10, the archetype headliner). Three suites:
+//
+// 1. Query/update interleaving parity matrix: seeded Zipf query streams ×
+//    ranks {1,2,4,8} × {cached, uncached} × {hot-cache on, off} × batch
+//    sizes, every answer bit-identical to answer_reference() run from
+//    scratch on the graph state AS OF that query's epoch (batches 0..e-1
+//    applied, never partial state). This is the epoch-consistency contract
+//    of DESIGN.md §13 made executable.
+// 2. Randomized HotVertexCache fuzz: >10k seeded op sequences against a
+//    naive map-based reference model, covering frequency-decrement
+//    eviction ties, short top-k memos and stale-entry invalidation.
+// 3. Admission-control determinism: same seed ⇒ byte-identical
+//    accept/reject sequence, answer payloads and rejection counters at
+//    every rank count, plus the queue-overflow and zero-capacity shapes.
+//
+// Seeds: fixed by default (deterministic tier-1 gate); the nightly CI job
+// rotates ATLC_SERVE_SEED and the chosen seed is printed below so any
+// failure is replayable with `ATLC_SERVE_SEED=<n> ./test_serve`.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "atlc/serve/hot_cache.hpp"
+#include "atlc/serve/query_engine.hpp"
+#include "atlc/serve/workload.hpp"
+#include "atlc/stream/update.hpp"
+#include "test_support.hpp"
+
+namespace atlc::serve {
+namespace {
+
+using graph::CSRGraph;
+using graph::EdgeList;
+using testsupport::paper_example;
+using testsupport::rmat_graph;
+
+constexpr std::uint32_t kRankCounts[] = {1, 2, 4, 8};
+
+std::uint64_t serve_seed() {
+  static const std::uint64_t seed = [] {
+    std::uint64_t s = 20260808;  // fixed default: deterministic tier-1 gate
+    if (const char* env = std::getenv("ATLC_SERVE_SEED"); env && *env)
+      s = std::strtoull(env, nullptr, 10);
+    std::printf("[serve] seed = %llu (set ATLC_SERVE_SEED to replay)\n",
+                static_cast<unsigned long long>(s));
+    return s;
+  }();
+  return seed;
+}
+
+EdgeList edge_list_of(const CSRGraph& g) {
+  EdgeList e(g.num_vertices(), {}, graph::Directedness::Undirected);
+  for (graph::VertexId u = 0; u < g.num_vertices(); ++u)
+    for (graph::VertexId v : g.neighbors(u)) e.add_edge(u, v);
+  return e;
+}
+
+/// Bit-identity for doubles: the parity contract is "same bits", not "same
+/// value up to rounding" — any accumulation-order drift must fail.
+void expect_bits_eq(double a, double b, const char* what) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << what << ": " << a << " vs " << b;
+}
+
+void expect_answer_matches(const QueryAnswer& got, const QueryAnswer& ref) {
+  ASSERT_EQ(got.kind, ref.kind);
+  ASSERT_EQ(got.v, ref.v);
+  if (got.kind == QueryKind::Lcc) {
+    expect_bits_eq(got.lcc, ref.lcc, "lcc");
+    EXPECT_TRUE(got.topk.empty());
+    return;
+  }
+  ASSERT_EQ(got.topk.size(), ref.topk.size());
+  for (std::size_t i = 0; i < ref.topk.size(); ++i) {
+    EXPECT_EQ(got.topk[i].v, ref.topk[i].v) << "rank " << i;
+    expect_bits_eq(got.topk[i].score, ref.topk[i].score, "score");
+  }
+}
+
+/// The parity check for one configuration: run the engine, then walk the
+/// epochs evolving a single-node reference edge list in lockstep. Epoch e's
+/// snapshot is taken BEFORE applying epoch e's own batch — queries observe
+/// batches 0..e-1 only.
+void expect_parity(const CSRGraph& g, const std::vector<ServeEpoch>& epochs,
+                   std::uint32_t ranks, const ServeOptions& opts,
+                   ServeResult* out = nullptr) {
+  const ServeResult res = run_query_stream(g, epochs, ranks, opts);
+
+  std::size_t total = 0;
+  for (const ServeEpoch& e : epochs) total += e.queries.size();
+  ASSERT_EQ(res.answers.size(), total);
+
+  EdgeList evolved = edge_list_of(g);
+  std::size_t id = 0;
+  for (std::size_t e = 0; e < epochs.size(); ++e) {
+    const CSRGraph snap = CSRGraph::from_edges(evolved);
+    for (std::size_t qi = 0; qi < epochs[e].queries.size(); ++qi, ++id) {
+      const Query& q = epochs[e].queries[qi];
+      const QueryAnswer& a = res.answers[id];
+      SCOPED_TRACE(::testing::Message()
+                   << "epoch " << e << " query " << qi << " ("
+                   << query_kind_name(q.kind) << " v" << q.v << ")");
+      EXPECT_EQ(a.id, id);
+      EXPECT_EQ(a.epoch, e);
+      EXPECT_EQ(a.rejected, qi >= opts.admission_capacity);
+      if (a.rejected) {
+        EXPECT_EQ(a.topk.size(), 0u);  // no partial payloads
+        continue;
+      }
+      expect_answer_matches(a, answer_reference(snap, q));
+      EXPECT_GE(a.completion, a.arrival);
+    }
+    stream::apply_to_edge_list(evolved, epochs[e].updates);
+  }
+  if (out != nullptr) *out = res;
+}
+
+// ------------------------------------------------ 1. parity matrix ------
+
+/// Full sweep for one graph: rank counts × CLaMPI cache on/off × hot cache
+/// on/off × batch sizes (0 = pure-query epochs).
+void sweep_graph(const CSRGraph& g, const char* name, std::uint64_t seed) {
+  for (const std::size_t batch_size : {std::size_t{0}, std::size_t{24}}) {
+    QueryWorkloadConfig wc;
+    wc.num_epochs = 3;
+    wc.queries_per_epoch = 40;
+    wc.zipf_skew = 1.1;  // hot head: the hot cache must see repeats
+    wc.batch_size = batch_size;
+    wc.seed = seed;
+    const std::vector<ServeEpoch> epochs = generate_query_stream(g, wc);
+
+    for (const std::uint32_t ranks : kRankCounts) {
+      for (const bool cached : {false, true}) {
+        for (const bool hot : {false, true}) {
+          SCOPED_TRACE(::testing::Message()
+                       << name << " bs=" << batch_size << " ranks=" << ranks
+                       << " cached=" << cached << " hot=" << hot);
+          ServeOptions opts;
+          if (cached) {
+            opts.engine.use_cache = true;
+            opts.engine.cache_sizing = core::CacheSizing::paper_default(
+                g.num_vertices(), 1 << 18);
+          }
+          if (hot) opts.hot_cache.entries = 64;
+          ServeResult res;
+          expect_parity(g, epochs, ranks, opts, &res);
+          if (hot && batch_size == 0) {
+            // Zipf-head repeats with no invalidation pressure must hit.
+            EXPECT_GT(res.hot_cache_total.hits, 0u);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ServeParityMatrix, PaperExample) {
+  sweep_graph(paper_example(), "paper_example", serve_seed());
+}
+
+TEST(ServeParityMatrix, RmatZipfStream) {
+  sweep_graph(rmat_graph(8, 8, 7 + serve_seed()), "rmat_s8", serve_seed());
+}
+
+TEST(ServeParityMatrix, DegreeBalancedPartition) {
+  // The serving layer rides the make_partition seam: DegreeBalanced1D with
+  // hub replication must preserve the same bit-identical answers.
+  const CSRGraph g = rmat_graph(8, 8, 11 + serve_seed());
+  QueryWorkloadConfig wc;
+  wc.num_epochs = 3;
+  wc.queries_per_epoch = 32;
+  wc.batch_size = 16;
+  wc.seed = serve_seed() + 3;
+  const auto epochs = generate_query_stream(g, wc);
+  for (const std::uint32_t ranks : kRankCounts) {
+    SCOPED_TRACE(::testing::Message() << "ranks=" << ranks);
+    ServeOptions opts;
+    opts.partition = graph::PartitionKind::DegreeBalanced1D;
+    opts.engine.hub_fraction = 0.05;
+    opts.hot_cache.entries = 32;
+    expect_parity(g, epochs, ranks, opts);
+  }
+}
+
+TEST(ServeParityMatrix, HotCacheInvalidatedByNeighborhoodEdit) {
+  // Targeted regression for the stale-memo hazard the matrix can only hit
+  // probabilistically: epoch 0 memoizes LCC(2) and top-k(2); epoch 0's
+  // batch inserts {0,3} — both endpoints inside N(2), vertex 2 untouched —
+  // so every epoch-1 answer for v2 must be freshly recomputed, not served
+  // from the (now wrong) memo.
+  const CSRGraph g = paper_example();
+  std::vector<ServeEpoch> epochs(2);
+  for (int rep = 0; rep < 3; ++rep) {  // repeats so the memo is genuinely hot
+    epochs[0].queries.push_back({QueryKind::Lcc, 2, 0});
+    epochs[0].queries.push_back({QueryKind::TopKCommon, 2, 4});
+    epochs[1].queries.push_back({QueryKind::Lcc, 2, 0});
+    epochs[1].queries.push_back({QueryKind::TopKAdamicAdar, 2, 4});
+  }
+  epochs[0].updates.push_back({0, 3, stream::Op::Insert});
+
+  for (const std::uint32_t ranks : {1u, 4u}) {
+    SCOPED_TRACE(::testing::Message() << "ranks=" << ranks);
+    ServeOptions opts;
+    opts.hot_cache.entries = 16;
+    ServeResult res;
+    expect_parity(g, epochs, ranks, opts, &res);
+    EXPECT_GT(res.hot_cache_total.hits, 0u);        // epoch-0 repeats hit
+    EXPECT_GT(res.hot_cache_total.invalidated, 0u);  // the batch marked them
+  }
+  // Sanity outside the harness: the edit really changes the answer.
+  EdgeList after = edge_list_of(g);
+  stream::apply_to_edge_list(after, epochs[0].updates);
+  const Query lcc2{QueryKind::Lcc, 2, 0};
+  EXPECT_NE(answer_reference(g, lcc2).lcc,
+            answer_reference(CSRGraph::from_edges(after), lcc2).lcc);
+}
+
+TEST(ServeParityMatrix, DeletionsAndVanishingNeighborhoods) {
+  // Deletion-heavy stream: rows shrink to degree 0/1, which exercises the
+  // lcc_score degenerate branches and candidate sets that empty out.
+  const CSRGraph g = rmat_graph(7, 4, 23 + serve_seed());
+  QueryWorkloadConfig wc;
+  wc.num_epochs = 4;
+  wc.queries_per_epoch = 24;
+  wc.batch_size = 48;
+  wc.insert_fraction = 0.1;  // mostly deletions
+  wc.seed = serve_seed() + 5;
+  const auto epochs = generate_query_stream(g, wc);
+  for (const std::uint32_t ranks : {1u, 4u}) {
+    ServeOptions opts;
+    opts.hot_cache.entries = 32;
+    SCOPED_TRACE(::testing::Message() << "ranks=" << ranks);
+    expect_parity(g, epochs, ranks, opts);
+  }
+}
+
+// ------------------------------------------------ 2. hot-cache fuzz -----
+
+/// Naive reference model: the cache's contract re-stated as the simplest
+/// possible slot-array interpreter (same bucket hash, same tie rules),
+/// driven op-for-op against the real class.
+struct ModelEntry {
+  bool used = false;
+  bool stale = false;
+  graph::VertexId v = 0;
+  QueryKind kind = QueryKind::Lcc;
+  std::uint32_t k = 0;
+  std::int32_t freq = 0;
+  double lcc = 0.0;
+  std::vector<Recommendation> topk;
+};
+
+class ModelCache {
+ public:
+  explicit ModelCache(const HotCacheConfig& cfg) : cfg_(cfg) {
+    if (cfg_.entries == 0) return;
+    cfg_.ways = std::clamp<std::size_t>(cfg_.ways, 1, cfg_.entries);
+    buckets_ = cfg_.entries / cfg_.ways;
+    if (buckets_ == 0) buckets_ = 1;
+    slots_.resize(buckets_ * cfg_.ways);
+  }
+
+  std::size_t bucket(graph::VertexId v, QueryKind kind) const {
+    const std::uint64_t key = (static_cast<std::uint64_t>(v) << 2) |
+                              static_cast<std::uint64_t>(kind);
+    return static_cast<std::size_t>(util::mix64(key) % buckets_);
+  }
+
+  /// Probe: returns the served payload, or nullopt on any kind of miss.
+  std::optional<ModelEntry> probe(graph::VertexId v, QueryKind kind,
+                                  std::uint32_t k) {
+    if (slots_.empty()) return std::nullopt;
+    ++stats.probes;
+    const std::size_t base = bucket(v, kind) * cfg_.ways;
+    for (std::size_t w = 0; w < cfg_.ways; ++w) {
+      ModelEntry& e = slots_[base + w];
+      if (!e.used || e.v != v || e.kind != kind) continue;
+      if (e.stale) {
+        ++stats.stale_misses;
+        e = ModelEntry{};
+        return std::nullopt;
+      }
+      if (kind != QueryKind::Lcc && e.k < k) {
+        ++stats.short_misses;
+        return std::nullopt;
+      }
+      ++stats.hits;
+      if (e.freq < cfg_.max_freq) ++e.freq;
+      return e;
+    }
+    ++stats.misses;
+    return std::nullopt;
+  }
+
+  void insert(graph::VertexId v, QueryKind kind, std::uint32_t k, double lcc,
+              std::vector<Recommendation> topk) {
+    if (slots_.empty()) return;
+    const std::size_t base = bucket(v, kind) * cfg_.ways;
+    for (std::size_t w = 0; w < cfg_.ways; ++w) {  // refresh in place
+      ModelEntry& e = slots_[base + w];
+      if (e.used && e.v == v && e.kind == kind) {
+        e.k = k;
+        e.stale = false;
+        e.lcc = lcc;
+        e.topk = std::move(topk);
+        if (e.freq < cfg_.max_freq) ++e.freq;
+        ++stats.updates;
+        return;
+      }
+    }
+    for (std::size_t w = 0; w < cfg_.ways; ++w) {  // empty-or-stale slot
+      ModelEntry& e = slots_[base + w];
+      if (e.used && !e.stale) continue;
+      e = ModelEntry{true, false, v, kind, k, 1, lcc, std::move(topk)};
+      ++stats.inserts;
+      return;
+    }
+    std::size_t victim = 0;  // full bucket: min freq, lowest index on ties
+    for (std::size_t w = 1; w < cfg_.ways; ++w)
+      if (slots_[base + w].freq < slots_[base + victim].freq) victim = w;
+    ModelEntry& ve = slots_[base + victim];
+    if (ve.freq > 0) {
+      --ve.freq;
+      ++stats.decrements;
+      ++stats.rejects;
+      return;
+    }
+    ve = ModelEntry{true, false, v, kind, k, 1, lcc, std::move(topk)};
+    ++stats.evictions;
+    ++stats.inserts;
+  }
+
+  void invalidate(std::span<const graph::VertexId> vs) {
+    for (ModelEntry& e : slots_) {
+      if (!e.used || e.stale) continue;
+      if (std::binary_search(vs.begin(), vs.end(), e.v)) {
+        e.stale = true;
+        ++stats.invalidated;
+      }
+    }
+  }
+
+  std::size_t live() const {
+    std::size_t n = 0;
+    for (const ModelEntry& e : slots_)
+      if (e.used && !e.stale) ++n;
+    return n;
+  }
+
+  HotCacheStats stats;
+
+ private:
+  HotCacheConfig cfg_;
+  std::size_t buckets_ = 0;
+  std::vector<ModelEntry> slots_;
+};
+
+void expect_stats_eq(const HotCacheStats& a, const HotCacheStats& b) {
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.stale_misses, b.stale_misses);
+  EXPECT_EQ(a.short_misses, b.short_misses);
+  EXPECT_EQ(a.inserts, b.inserts);
+  EXPECT_EQ(a.updates, b.updates);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.decrements, b.decrements);
+  EXPECT_EQ(a.rejects, b.rejects);
+  EXPECT_EQ(a.invalidated, b.invalidated);
+}
+
+TEST(HotCacheFuzz, MatchesModelOver10kSeededSequences) {
+  const std::uint64_t base = serve_seed();
+  constexpr std::size_t kSequences = 10'500;
+  constexpr std::size_t kOpsPerSeq = 28;
+  constexpr graph::VertexId kVertexSpace = 24;  // small: forced collisions
+
+  for (std::size_t s = 0; s < kSequences; ++s) {
+    util::Xoshiro256 rng(util::mix64(base, 0xf002 + s));
+    HotCacheConfig cfg;
+    cfg.entries = rng.next_below(17);  // 0 (disabled) .. 16
+    cfg.ways = 1 + rng.next_below(5);
+    cfg.max_freq = 1 + static_cast<std::int32_t>(rng.next_below(6));
+    HotVertexCache cache(cfg);
+    ModelCache model(cfg);
+    std::uint32_t epoch = 0;
+
+    for (std::size_t op = 0; op < kOpsPerSeq; ++op) {
+      const auto v = static_cast<graph::VertexId>(rng.next_below(kVertexSpace));
+      const auto kind = static_cast<QueryKind>(rng.next_below(3));
+      const auto k = static_cast<std::uint32_t>(1 + rng.next_below(4));
+      const std::uint64_t dice = rng.next_below(100);
+      if (dice < 55) {  // probe
+        const auto got = cache.probe(v, kind, k);
+        const auto want = model.probe(v, kind, k);
+        ASSERT_EQ(got.hit, want.has_value()) << "seq " << s << " op " << op;
+        if (got.hit) {
+          if (kind == QueryKind::Lcc) {
+            expect_bits_eq(got.lcc, want->lcc, "memoized lcc");
+          } else {
+            const std::size_t depth =
+                std::min<std::size_t>(want->topk.size(), k);
+            ASSERT_EQ(got.topk.size(), depth);
+            for (std::size_t i = 0; i < depth; ++i)
+              EXPECT_EQ(got.topk[i], want->topk[i]);
+          }
+        }
+      } else if (dice < 85) {  // insert
+        if (kind == QueryKind::Lcc) {
+          const double lcc = static_cast<double>(rng.next_below(1000)) / 999.0;
+          cache.insert_lcc(v, lcc);
+          model.insert(v, QueryKind::Lcc, 0, lcc, {});
+        } else {
+          std::vector<Recommendation> topk;
+          for (std::uint32_t i = 0; i < k; ++i)
+            topk.push_back({static_cast<graph::VertexId>(rng.next_below(64)),
+                            static_cast<double>(k - i)});
+          cache.insert_topk(v, kind, k, topk);
+          model.insert(v, kind, k, 0.0, std::move(topk));
+        }
+      } else if (dice < 95) {  // batch invalidation over a sorted set
+        std::vector<graph::VertexId> vs;
+        const std::size_t n = 1 + rng.next_below(4);
+        for (std::size_t i = 0; i < n; ++i)
+          vs.push_back(static_cast<graph::VertexId>(
+              rng.next_below(kVertexSpace)));
+        std::sort(vs.begin(), vs.end());
+        vs.erase(std::unique(vs.begin(), vs.end()), vs.end());
+        cache.invalidate(vs);
+        model.invalidate(vs);
+      } else {  // epoch bump
+        cache.begin_epoch(++epoch);
+      }
+    }
+    ASSERT_EQ(cache.live_entries(), model.live());
+    expect_stats_eq(cache.stats(), model.stats);
+    if (HasFailure()) {
+      std::printf("[serve] fuzz failure in sequence %zu\n", s);
+      return;
+    }
+  }
+}
+
+TEST(HotCacheFuzz, FrequencyDecrementProtectsHotEntry) {
+  // The IdxCache property in isolation: a bucket-filling hot entry takes
+  // freq+1 cold inserts to displace, and the displacement is deterministic.
+  HotCacheConfig cfg;
+  cfg.entries = 1;  // one bucket, one way: every key collides
+  cfg.ways = 1;
+  HotVertexCache cache(cfg);
+  cache.insert_lcc(1, 0.5);
+  for (int i = 0; i < 3; ++i) (void)cache.probe(1, QueryKind::Lcc, 0);
+  // freq(v1) = 1 insert + 3 hits = 4: four cold inserts only decrement
+  // (each probe-free, so nothing re-heats the victim)...
+  for (graph::VertexId v = 10; v < 14; ++v) cache.insert_lcc(v, 0.1);
+  EXPECT_EQ(cache.stats().decrements, 4u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  // ...and the fifth finally displaces the zero-frequency victim.
+  cache.insert_lcc(14, 0.1);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.probe(1, QueryKind::Lcc, 0).hit);
+  EXPECT_TRUE(cache.probe(14, QueryKind::Lcc, 0).hit);
+}
+
+// ------------------------------------- 3. admission determinism ---------
+
+/// Byte-serialize everything that must be rank-count-invariant: identity,
+/// admission verdict and the full answer payload (doubles as raw bits).
+/// Virtual times are NOT included — queueing differs across rank counts.
+std::string answer_fingerprint(const ServeResult& res) {
+  std::string out;
+  auto put = [&out](const void* p, std::size_t n) {
+    out.append(static_cast<const char*>(p), n);
+  };
+  for (const QueryAnswer& a : res.answers) {
+    put(&a.id, sizeof a.id);
+    put(&a.kind, sizeof a.kind);
+    put(&a.v, sizeof a.v);
+    put(&a.k, sizeof a.k);
+    put(&a.epoch, sizeof a.epoch);
+    put(&a.rejected, sizeof a.rejected);
+    put(&a.lcc, sizeof a.lcc);
+    const std::uint64_t nk = a.topk.size();
+    put(&nk, sizeof nk);
+    for (const Recommendation& r : a.topk) {
+      put(&r.v, sizeof r.v);
+      put(&r.score, sizeof r.score);
+    }
+  }
+  for (const EpochOutcome& e : res.epochs) {
+    put(&e.submitted, sizeof e.submitted);
+    put(&e.accepted, sizeof e.accepted);
+    put(&e.rejected, sizeof e.rejected);
+    put(&e.effective_insertions, sizeof e.effective_insertions);
+    put(&e.effective_deletions, sizeof e.effective_deletions);
+  }
+  return out;
+}
+
+TEST(ServeAdmission, ByteIdenticalVerdictsAtEveryRankCount) {
+  const CSRGraph g = rmat_graph(8, 8, 31 + serve_seed());
+  QueryWorkloadConfig wc;
+  wc.num_epochs = 3;
+  wc.queries_per_epoch = 48;
+  wc.batch_size = 24;
+  wc.seed = serve_seed() + 7;
+  const auto epochs = generate_query_stream(g, wc);
+
+  ServeOptions opts;
+  opts.admission_capacity = 20;  // overflow: 28 rejections per epoch
+  opts.hot_cache.entries = 32;
+
+  std::string first;
+  for (const std::uint32_t ranks : kRankCounts) {
+    SCOPED_TRACE(::testing::Message() << "ranks=" << ranks);
+    const ServeResult res = run_query_stream(g, epochs, ranks, opts);
+    EXPECT_EQ(res.stats.submitted, 3u * 48u);
+    EXPECT_EQ(res.stats.rejected, 3u * 28u);
+    EXPECT_EQ(res.stats.answered, 3u * 20u);
+    for (const EpochOutcome& e : res.epochs) {
+      EXPECT_EQ(e.accepted, 20u);
+      EXPECT_EQ(e.rejected, 28u);
+    }
+    const std::string fp = answer_fingerprint(res);
+    if (first.empty())
+      first = fp;
+    else
+      EXPECT_EQ(fp, first) << "accept/reject or payload drifted with ranks";
+  }
+
+  // Same seed, same rank count, run twice: the whole result (virtual
+  // latencies included) must reproduce exactly.
+  const ServeResult a = run_query_stream(g, epochs, 4, opts);
+  const ServeResult b = run_query_stream(g, epochs, 4, opts);
+  ASSERT_EQ(a.stats.latencies.size(), b.stats.latencies.size());
+  for (std::size_t i = 0; i < a.stats.latencies.size(); ++i)
+    expect_bits_eq(a.stats.latencies[i], b.stats.latencies[i], "latency");
+  EXPECT_EQ(answer_fingerprint(a), answer_fingerprint(b));
+}
+
+TEST(ServeAdmission, ZeroCapacityRejectsQueriesButAppliesUpdates) {
+  const CSRGraph g = paper_example();
+  QueryWorkloadConfig wc;
+  wc.num_epochs = 2;
+  wc.queries_per_epoch = 8;
+  wc.batch_size = 6;
+  wc.seed = serve_seed() + 9;
+  const auto epochs = generate_query_stream(g, wc);
+
+  ServeOptions open;
+  ServeOptions closed;
+  closed.admission_capacity = 0;
+  const ServeResult ref = run_query_stream(g, epochs, 2, open);
+  const ServeResult res = run_query_stream(g, epochs, 2, closed);
+
+  EXPECT_EQ(res.stats.answered, 0u);
+  EXPECT_EQ(res.stats.rejected, res.stats.submitted);
+  EXPECT_TRUE(res.stats.latencies.empty());
+  for (const QueryAnswer& a : res.answers) {
+    EXPECT_TRUE(a.rejected);
+    EXPECT_TRUE(a.topk.empty());
+  }
+  // The update side is unaffected by the closed queue: every epoch applies
+  // the same effective batch as the open-door run.
+  ASSERT_EQ(res.epochs.size(), ref.epochs.size());
+  for (std::size_t e = 0; e < res.epochs.size(); ++e) {
+    EXPECT_EQ(res.epochs[e].effective_insertions,
+              ref.epochs[e].effective_insertions);
+    EXPECT_EQ(res.epochs[e].effective_deletions,
+              ref.epochs[e].effective_deletions);
+    EXPECT_EQ(res.epochs[e].rows_rebuilt, ref.epochs[e].rows_rebuilt);
+  }
+}
+
+TEST(ServeAdmission, CapacityAtLeastStreamNeverRejects) {
+  const CSRGraph g = paper_example();
+  QueryWorkloadConfig wc;
+  wc.num_epochs = 2;
+  wc.queries_per_epoch = 16;
+  wc.seed = serve_seed() + 11;
+  const auto epochs = generate_query_stream(g, wc);
+  ServeOptions opts;
+  opts.admission_capacity = 16;  // exactly the epoch arrival count
+  const ServeResult res = run_query_stream(g, epochs, 2, opts);
+  EXPECT_EQ(res.stats.rejected, 0u);
+  EXPECT_EQ(res.stats.answered, res.stats.submitted);
+}
+
+// -------------------------------------------- workload generator --------
+
+TEST(ServeWorkload, ZipfSkewConcentratesTraffic) {
+  const CSRGraph g = rmat_graph(8, 8, 41);
+  QueryWorkloadConfig wc;
+  wc.num_epochs = 1;
+  wc.queries_per_epoch = 4000;
+  wc.zipf_skew = 1.2;
+  wc.batch_size = 0;
+  wc.seed = serve_seed();
+  const auto epochs = generate_query_stream(g, wc);
+  std::map<graph::VertexId, std::size_t> freq;
+  for (const Query& q : epochs[0].queries) ++freq[q.v];
+  std::size_t max_freq = 0;
+  for (const auto& [v, n] : freq) max_freq = std::max(max_freq, n);
+  // Zipf s=1.2 over 256 vertices: the head takes a large multiple of the
+  // uniform share (4000/256 ≈ 16).
+  EXPECT_GT(max_freq, 200u);
+
+  // Uniform (s=0) traffic does not.
+  wc.zipf_skew = 0.0;
+  const auto uni = generate_query_stream(g, wc);
+  freq.clear();
+  for (const Query& q : uni[0].queries) ++freq[q.v];
+  max_freq = 0;
+  for (const auto& [v, n] : freq) max_freq = std::max(max_freq, n);
+  EXPECT_LT(max_freq, 60u);
+}
+
+TEST(ServeWorkload, DeterministicFunctionOfSeed) {
+  const CSRGraph g = paper_example();
+  QueryWorkloadConfig wc;
+  wc.num_epochs = 2;
+  wc.queries_per_epoch = 32;
+  wc.seed = serve_seed();
+  const auto a = generate_query_stream(g, wc);
+  const auto b = generate_query_stream(g, wc);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    ASSERT_EQ(a[e].queries.size(), b[e].queries.size());
+    for (std::size_t i = 0; i < a[e].queries.size(); ++i) {
+      EXPECT_EQ(a[e].queries[i].kind, b[e].queries[i].kind);
+      EXPECT_EQ(a[e].queries[i].v, b[e].queries[i].v);
+    }
+    EXPECT_EQ(a[e].updates, b[e].updates);
+  }
+  wc.seed = serve_seed() + 1;
+  const auto c = generate_query_stream(g, wc);
+  bool differs = false;
+  for (std::size_t i = 0; i < c[0].queries.size() && !differs; ++i)
+    differs = c[0].queries[i].v != a[0].queries[i].v;
+  EXPECT_TRUE(differs) << "seed does not rotate the stream";
+}
+
+}  // namespace
+}  // namespace atlc::serve
